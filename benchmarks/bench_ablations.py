@@ -1,0 +1,62 @@
+"""A1-A3 — ablations of MARP's design choices.
+
+* A1: itinerary strategy (the paper's cost-sorted USL vs alternatives)
+  on a topology with non-uniform link costs.
+* A2: information sharing via server bulletin boards (§3.1) on/off.
+* A3: request batching (§3.2) — requests carried per agent.
+"""
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_batching_ablation,
+    run_bulletin_ablation,
+    run_itinerary_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a1_itinerary_strategies(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_itinerary_ablation(
+            requests_per_client=10, repeats=1, seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("a1_itinerary", table.text)
+    for strategy in (
+        "cost-sorted", "initial-cost-order", "static-order", "random-order",
+    ):
+        assert table.column(strategy, "consistent")
+        assert table.column(strategy, "committed") == 50.0
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a2_bulletin_sharing(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_bulletin_ablation(
+            requests_per_client=10, repeats=1, seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("a2_bulletin", table.text)
+    assert table.column(True, "consistent")
+    assert table.column(False, "consistent")
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_a3_batching(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_batching_ablation(
+            batch_sizes=(1, 4), requests_per_client=16, repeats=1, seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("a3_batching", table.text)
+    assert table.column(1, "consistent")
+    assert table.column(4, "consistent")
+    # Batching amortises migrations: 4-request agents travel far less.
+    assert table.column(4, "agent hops") < table.column(1, "agent hops")

@@ -1,0 +1,40 @@
+"""Figure 2 — Average time for obtaining the lock (ALT).
+
+Regenerates the paper's Figure 2 series (ALT vs mean inter-arrival time
+for N = 3, 4, 5 servers) and validates the reported shape: ALT decreases
+as the mean inter-arrival time grows, and more servers cost more.
+"""
+
+import pytest
+
+from repro.experiments.common import latency_sweep
+from repro.experiments.fig2_alt import project_fig2
+
+INTERARRIVALS = (15.0, 25.0, 45.0, 80.0)
+SERVERS = (3, 4, 5)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig2_alt(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: latency_sweep(
+            server_counts=SERVERS,
+            interarrivals=INTERARRIVALS,
+            requests_per_client=15,
+            repeats=1,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    figure = project_fig2(points)
+    emit("fig2_alt", figure.text + "\n\n" + figure.chart)
+
+    assert figure.all_consistent
+    for n in SERVERS:
+        series = figure.series[f"{n} servers"]
+        # Shape: contention (small inter-arrival) inflates ALT; by the
+        # tail of the sweep the lock is cheap.
+        assert series[0] > series[-1]
+    # Shape: at high contention, more servers means a costlier lock.
+    assert figure.series["5 servers"][0] > figure.series["3 servers"][0]

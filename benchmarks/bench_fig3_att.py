@@ -1,0 +1,42 @@
+"""Figure 3 — Average total time for completing a request (ATT).
+
+Regenerates the paper's Figure 3 and validates its shape: ATT ≥ ALT (it
+adds the UPDATE/ACK/COMMIT messaging), decreasing with the mean
+inter-arrival time and increasing with the number of servers.
+"""
+
+import pytest
+
+from repro.experiments.common import latency_sweep
+from repro.experiments.fig2_alt import project_fig2
+from repro.experiments.fig3_att import project_fig3
+
+INTERARRIVALS = (15.0, 25.0, 45.0, 80.0)
+SERVERS = (3, 4, 5)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig3_att(benchmark, emit):
+    points = benchmark.pedantic(
+        lambda: latency_sweep(
+            server_counts=SERVERS,
+            interarrivals=INTERARRIVALS,
+            requests_per_client=15,
+            repeats=1,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    figure = project_fig3(points)
+    emit("fig3_att", figure.text + "\n\n" + figure.chart)
+
+    assert figure.all_consistent
+    alt_figure = project_fig2(points)
+    for n in SERVERS:
+        att_series = figure.series[f"{n} servers"]
+        alt_series = alt_figure.series[f"{n} servers"]
+        # ATT includes ALT plus the update round.
+        assert all(t >= a for t, a in zip(att_series, alt_series))
+        assert att_series[0] > att_series[-1]
+    assert figure.series["5 servers"][-1] > figure.series["3 servers"][-1]

@@ -1,0 +1,42 @@
+"""Figure 4 — Percentage of requests whose lock needed K server visits.
+
+Regenerates the paper's Figure 4 (N = 5, K = 3, 4, 5) and validates its
+shape: below ~45 ms inter-arrival most requests must visit all 5 servers;
+at low rates most are granted after only 3 = (N+1)/2 visits.
+"""
+
+import pytest
+
+from repro.experiments.fig4_prk import run_fig4
+
+INTERARRIVALS = (15.0, 30.0, 45.0, 80.0, 150.0)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig4_prk(benchmark, emit):
+    figure = benchmark.pedantic(
+        lambda: run_fig4(
+            interarrivals=INTERARRIVALS,
+            requests_per_client=15,
+            repeats=1,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("fig4_prk", figure.text + "\n\n" + figure.chart)
+
+    assert figure.all_consistent
+    k3, k5 = figure.series["K=3"], figure.series["K=5"]
+    # High contention: K=5 dominates (paper: "for most requests, mobile
+    # agents need to visit all of the 5 servers").
+    assert k5[0] > 50.0
+    assert k5[0] > k3[0]
+    # Low contention: K=3 dominates ("most requests can be granted the
+    # lock by having their mobile agents visit only 3 servers").
+    assert k3[-1] > 50.0
+    assert k3[-1] > k5[-1]
+    # Each column is a distribution over K.
+    for index in range(len(INTERARRIVALS)):
+        total = sum(figure.series[f"K={k}"][index] for k in (3, 4, 5))
+        assert total == pytest.approx(100.0)

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the substrates (regression guards).
+
+These are the hot paths profiling identified (per the optimisation
+workflow of the HPC guides): the event loop, the store matching loop,
+message delivery, and the MARP decision function.
+"""
+
+import pytest
+
+from repro.agents.identity import AgentId
+from repro.core.locking_table import LockingTable
+from repro.core.priority import decide
+from repro.experiments.runner import RunConfig, run_once
+from repro.replication.server import SharedView
+from repro.sim.core import Environment
+from repro.sim.stores import Store
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_event_loop_throughput(benchmark):
+    def run_events():
+        env = Environment()
+
+        def ticker(env):
+            for _ in range(2000):
+                yield env.timeout(1)
+
+        env.process(ticker(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run_events) == 2000.0
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_store_put_get_throughput(benchmark):
+    def run_store():
+        env = Environment()
+        store = Store(env)
+        moved = []
+
+        def producer(env):
+            for index in range(1000):
+                yield store.put(index)
+
+        def consumer(env):
+            for _ in range(1000):
+                item = yield store.get()
+                moved.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        return len(moved)
+
+    assert benchmark(run_store) == 1000
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_decision_function_speed(benchmark):
+    table = LockingTable()
+    agents = [AgentId("h", float(n), 0) for n in range(20)]
+    for index in range(5):
+        table.update(
+            SharedView(
+                host=f"s{index + 1}",
+                as_of=1.0,
+                view=tuple(agents[index:] + agents[:index]),
+                updated=frozenset(agents[:3]),
+                versions={"x": index},
+            )
+        )
+
+    decision = benchmark(lambda: decide(table, 5, agents[5]))
+    assert decision.outcome is not None
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_end_to_end_run_throughput(benchmark):
+    config = RunConfig(
+        n_replicas=5, seed=0, mean_interarrival=50.0,
+        requests_per_client=10,
+    )
+    result = benchmark.pedantic(
+        lambda: run_once(config), rounds=3, iterations=1,
+    )
+    assert result.committed == 50
+    assert result.audit.consistent

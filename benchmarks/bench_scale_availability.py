@@ -1,0 +1,73 @@
+"""S1 & F1 — scalability and availability (paper §1/§5 claims).
+
+* S1: "fully distributed and scalable" — replica-count sweep. Every
+  quorum protocol's per-commit cost grows with N; the voting baseline
+  degrades faster under the same load.
+* F1: availability — with k of 5 replicas permanently down, MARP still
+  serves every request homed at a live server while a majority is alive,
+  and stalls only below the quorum bound; primary-copy dies with its
+  primary.
+"""
+
+import pytest
+
+from repro.experiments.availability import run_availability
+from repro.experiments.scalability import run_scalability
+
+
+@pytest.mark.benchmark(group="tables")
+def test_s1_scalability(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_scalability(
+            protocols=("marp", "mcv"),
+            replica_counts=(3, 5, 7),
+            requests_per_client=8,
+            repeats=1,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("s1_scalability", table.text)
+
+    for protocol in ("marp", "mcv"):
+        att = table.series(protocol, "ATT(ms)")
+        msgs = table.series(protocol, "msgs/commit")
+        # Cost grows with the replica count for every quorum protocol.
+        assert att[7] > att[3]
+        assert msgs[7] > msgs[3]
+    # The voting protocol's latency degrades faster from N=5 to N=7
+    # (bigger quorums mean more conflicting vote rounds).
+    marp_growth = table.series("marp", "ATT(ms)")[7] / table.series(
+        "marp", "ATT(ms)")[5]
+    mcv_growth = table.series("mcv", "ATT(ms)")[7] / table.series(
+        "mcv", "ATT(ms)")[5]
+    assert mcv_growth > marp_growth
+
+
+@pytest.mark.benchmark(group="tables")
+def test_f1_availability(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_availability(
+            crash_counts=(0, 1, 2, 3),
+            requests_per_client=4,
+            repeats=1,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("f1_availability", table.text)
+
+    marp = table.availability("marp")
+    # Full service with everyone up; graceful degradation (only the
+    # crashed homes' clients are denied) while a majority is alive.
+    assert marp[0] == 100.0
+    assert marp[1] == pytest.approx(80.0)
+    assert marp[2] == pytest.approx(60.0)
+    # Below the quorum bound nothing can commit (and nothing diverges).
+    assert marp[3] == 0.0
+
+    pc = table.availability("primary-copy")
+    assert pc[0] == 100.0
+    assert pc[1] == 0.0  # the primary is the first crash victim

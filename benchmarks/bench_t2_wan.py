@@ -1,0 +1,42 @@
+"""T2 — LAN vs WAN scaling.
+
+Quantifies the paper's §1 claim that message-passing protocols designed
+for closely coupled systems "may not scale to the world-wide Internet
+environment": on the heavy-tailed WAN profile every protocol slows, but
+the multi-round voting protocols degrade the most, while MARP localises
+the lock negotiation in agent visits.
+"""
+
+import pytest
+
+from repro.experiments.table_comparison import run_comparison
+
+
+@pytest.mark.benchmark(group="tables")
+def test_t2_wan_scaling(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_comparison(
+            protocols=("marp", "mcv", "weighted-voting"),
+            latencies=("lan", "wan"),
+            mean_interarrival=400.0,
+            requests_per_client=8,
+            repeats=1,
+            seed=0,
+            title="T2: LAN vs WAN scaling (400ms gaps)",
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("t2_wan", table.text)
+
+    for protocol in ("marp", "mcv", "weighted-voting"):
+        lan = table.row_for(protocol, "lan")
+        wan = table.row_for(protocol, "wan")
+        assert lan.consistent and wan.consistent
+        # WAN is an order of magnitude slower for everyone.
+        assert wan.att > 5 * lan.att
+
+    # On the WAN, MARP's message bill stays below the voting protocols'.
+    marp_wan = table.row_for("marp", "wan")
+    mcv_wan = table.row_for("mcv", "wan")
+    assert marp_wan.control_messages < mcv_wan.control_messages

@@ -1,0 +1,50 @@
+"""T3 — Theorem 3 visit bounds.
+
+"The winning mobile agent needs to migrate at least (N+1)/2 and at most
+N times in order to know the result." Measured as distinct server visits
+before lock acquisition, across low and high contention, for N = 3 and 5.
+"""
+
+import pytest
+
+from repro.experiments.ablations import theorem3_bounds
+
+
+@pytest.mark.benchmark(group="theorems")
+@pytest.mark.parametrize("n_replicas", [3, 5])
+def test_t3_theorem3_bounds(benchmark, emit, n_replicas):
+    report = benchmark.pedantic(
+        lambda: theorem3_bounds(
+            n_replicas=n_replicas,
+            mean_interarrival=25.0,
+            requests_per_client=15,
+            repeats=2,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(f"t3_theorem3_n{n_replicas}", report.text)
+
+    assert report.holds
+    assert report.lower_bound == n_replicas // 2 + 1
+    assert report.upper_bound == n_replicas
+    assert report.commits == 2 * 15 * n_replicas
+
+
+@pytest.mark.benchmark(group="theorems")
+def test_t3_lower_bound_attained_without_contention(benchmark, emit):
+    """At negligible load the winner stops at exactly ⌈(N+1)/2⌉ visits."""
+    report = benchmark.pedantic(
+        lambda: theorem3_bounds(
+            n_replicas=5,
+            mean_interarrival=500.0,
+            requests_per_client=6,
+            repeats=1,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("t3_uncontended", report.text)
+    assert report.observed_min == 3

@@ -1,0 +1,36 @@
+"""X1 — update throughput and the saturation knee (extension).
+
+The single-object distributed lock serialises updates; achieved
+throughput must plateau at the lock hand-off rate while latency explodes
+past the knee.
+"""
+
+import pytest
+
+from repro.experiments.throughput import run_throughput
+
+
+@pytest.mark.benchmark(group="tables")
+def test_x1_throughput_saturation(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_throughput(
+            interarrivals=(10.0, 30.0, 80.0, 160.0),
+            requests_per_client=15,
+            repeats=1,
+            seed=0,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit("x1_throughput", table.text)
+
+    offered = table.offered()
+    achieved = table.achieved()
+    # Saturation: the two highest offered loads achieve (nearly) the
+    # same throughput — the lock's service ceiling.
+    assert achieved[0] < offered[0] * 0.5
+    assert achieved[0] == pytest.approx(achieved[1], rel=0.25)
+    # Uncontended: achieved tracks offered much more closely.
+    assert achieved[-1] > offered[-1] * 0.5
+    # Everything stays consistent at every load.
+    assert all(row[-1] for row in table.rows)

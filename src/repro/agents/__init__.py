@@ -1,0 +1,37 @@
+"""Mobile-agent platform substrate (the Aglets stand-in).
+
+Agents have identity (:class:`AgentId`), carried state sizing their
+migrations (:class:`MigrationCostModel`), a per-host runtime
+(:class:`AgentPlatform`) with the paper's retry/unavailability policy,
+and pluggable itinerary strategies.
+"""
+
+from repro.agents.agent import MobileAgent
+from repro.agents.directory import PlatformDirectory
+from repro.agents.identity import AgentId, AgentIdFactory
+from repro.agents.itinerary import (
+    CostSorted,
+    InitialCostOrder,
+    ItineraryStrategy,
+    RandomOrder,
+    StaticOrder,
+    make_itinerary,
+)
+from repro.agents.mobility import MigrationCostModel
+from repro.agents.platform import AgentPlatform, MobilityPolicy
+
+__all__ = [
+    "AgentId",
+    "AgentIdFactory",
+    "MobileAgent",
+    "AgentPlatform",
+    "MobilityPolicy",
+    "PlatformDirectory",
+    "MigrationCostModel",
+    "ItineraryStrategy",
+    "CostSorted",
+    "InitialCostOrder",
+    "StaticOrder",
+    "RandomOrder",
+    "make_itinerary",
+]

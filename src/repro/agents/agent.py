@@ -1,0 +1,115 @@
+"""The mobile agent abstraction.
+
+A :class:`MobileAgent` is an autonomous object with identity, carried
+state, and a location (the platform currently hosting it). Its behaviour
+is a single generator (``behavior()``) driven by the simulation kernel;
+migration is performed *inline* with ``yield from self.migrate(dst)``, so
+protocol code reads exactly like the paper's Algorithm 1 — "written from
+the point of view of the navigating mobile agent".
+
+(Aglets-style weak mobility — restart ``onArrival`` at each hop — is what
+the live threaded backend in :mod:`repro.runtime` implements; in the DES
+backend the continuation-style is equivalent and far clearer.)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.errors import AgentDisposed
+from repro.agents.identity import AgentId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.platform import AgentPlatform
+
+__all__ = ["MobileAgent"]
+
+
+class MobileAgent:
+    """Base class for all mobile agents.
+
+    Subclasses implement :meth:`behavior` (a generator) and may override
+    :meth:`state` to declare the data they carry, which determines
+    migration cost.
+
+    Attributes
+    ----------
+    agent_id:
+        Unique, totally ordered identity.
+    home:
+        Host where the agent was created.
+    location:
+        Host currently executing the agent (``None`` before launch or
+        after disposal).
+    hops:
+        Number of completed migrations.
+    travel_log:
+        ``(time, host)`` pairs, one per arrival (including launch).
+    """
+
+    def __init__(self, agent_id: AgentId) -> None:
+        self.agent_id = agent_id
+        self.home = agent_id.host
+        self.platform: Optional["AgentPlatform"] = None
+        self.hops = 0
+        self.travel_log: List[Tuple[float, str]] = []
+        self.disposed = False
+
+    # -- state & identity ---------------------------------------------------
+
+    @property
+    def location(self) -> Optional[str]:
+        return self.platform.host if self.platform is not None else None
+
+    def state(self) -> Dict[str, Any]:
+        """Data carried across migrations (sizes the transfer).
+
+        Subclasses should return everything the agent 'packs in its
+        suitcase'; the base agent carries only its identity.
+        """
+        return {"agent_id": self.agent_id}
+
+    # -- behaviour ------------------------------------------------------------
+
+    def behavior(self):  # pragma: no cover - abstract
+        """The agent's life as a generator; yield simulation events."""
+        raise NotImplementedError
+        yield  # make this a generator even if the subclass forgets
+
+    # -- mobility --------------------------------------------------------------
+
+    def migrate(self, dst: str):
+        """Sub-generator: move this agent to ``dst``.
+
+        Use as ``yield from self.migrate(dst)``. Applies the platform's
+        retry policy; raises
+        :class:`~repro.errors.ReplicaUnavailable` when the destination is
+        declared unavailable (paper §2), leaving the agent where it was.
+        """
+        self._require_live()
+        if self.platform is None:
+            raise AgentDisposed(f"{self} has no platform to migrate from")
+        destination_platform = yield from self.platform.transfer(self, dst)
+        return destination_platform
+
+    def dispose(self) -> None:
+        """End the agent's life (paper Algorithm 1's final ``dispose``)."""
+        if self.disposed:
+            return
+        self.disposed = True
+        if self.platform is not None:
+            self.platform.remove(self)
+            self.platform = None
+
+    # -- bookkeeping (called by platforms) --------------------------------------
+
+    def _record_arrival(self, time: float, host: str) -> None:
+        self.travel_log.append((time, host))
+
+    def _require_live(self) -> None:
+        if self.disposed:
+            raise AgentDisposed(f"{self} has been disposed")
+
+    def __repr__(self) -> str:
+        where = self.location or "nowhere"
+        return f"<{type(self).__name__} {self.agent_id} at {where}>"

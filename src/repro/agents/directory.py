@@ -1,0 +1,52 @@
+"""Platform directory: name service mapping hosts to agent platforms.
+
+The Aglets runtime addressed aglet contexts by URL; here a simple
+directory shared by all platforms of one deployment plays that role.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List
+
+from repro.errors import AgentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agents.platform import AgentPlatform
+
+__all__ = ["PlatformDirectory"]
+
+
+class PlatformDirectory:
+    """Registry of live agent platforms, keyed by host name."""
+
+    def __init__(self) -> None:
+        self._platforms: Dict[str, "AgentPlatform"] = {}
+
+    def register(self, platform: "AgentPlatform") -> None:
+        if platform.host in self._platforms:
+            raise AgentError(
+                f"platform for host {platform.host!r} already registered"
+            )
+        self._platforms[platform.host] = platform
+
+    def lookup(self, host: str) -> "AgentPlatform":
+        try:
+            return self._platforms[host]
+        except KeyError:
+            raise AgentError(f"no platform registered for host {host!r}") from None
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._platforms
+
+    def __iter__(self) -> Iterator["AgentPlatform"]:
+        return iter(self._platforms.values())
+
+    def __len__(self) -> int:
+        return len(self._platforms)
+
+    @property
+    def hosts(self) -> List[str]:
+        return sorted(self._platforms)
+
+    def __repr__(self) -> str:
+        return f"<PlatformDirectory hosts={self.hosts}>"

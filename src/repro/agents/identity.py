@@ -1,0 +1,61 @@
+"""Agent identity.
+
+Paper §3.2: "When a mobile agent is created, it is assigned a unique
+identifier consisting of the host-name of the replicated server where the
+mobile agent is created plus the local creation time." Ties in the MARP
+priority calculation are resolved "by using the mobile agents'
+identifiers", so identifiers must be **totally ordered**; we order by
+``(created_at, host, seq)`` — creation time first, which makes the
+tie-break FIFO-flavoured — and add a per-host sequence number so two
+agents created at the same host at the same instant remain distinct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import total_ordering
+from typing import Dict
+
+__all__ = ["AgentId", "AgentIdFactory"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class AgentId:
+    """Globally unique, totally ordered mobile-agent identifier."""
+
+    host: str
+    created_at: float
+    seq: int = 0
+
+    def _key(self):
+        return (self.created_at, self.host, self.seq)
+
+    def __lt__(self, other: "AgentId") -> bool:
+        if not isinstance(other, AgentId):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __str__(self) -> str:
+        return f"{self.host}@{self.created_at:g}#{self.seq}"
+
+    def wire_size(self) -> int:
+        """Bytes this identifier occupies on the wire."""
+        return len(self.host.encode("utf-8")) + 8 + 4
+
+
+class AgentIdFactory:
+    """Per-host factory guaranteeing unique sequence numbers.
+
+    A single factory instance is shared by everything creating agents at
+    one host (the replica server's dispatcher in MARP).
+    """
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self._seq_at: Dict[float, int] = {}
+
+    def new(self, created_at: float) -> AgentId:
+        seq = self._seq_at.get(created_at, 0)
+        self._seq_at[created_at] = seq + 1
+        return AgentId(host=self.host, created_at=created_at, seq=seq)

@@ -1,0 +1,54 @@
+"""Migration cost model.
+
+A migrating agent is serialised and shipped over the network; its transfer
+time therefore depends on how much state it carries. The paper's agents
+grow as they travel (the Locking Table accumulates per-server lock
+views), so migration cost rises with hop count — an effect the evaluation
+implicitly contains and that we model explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.net.message import estimate_size
+
+__all__ = ["MigrationCostModel"]
+
+
+class MigrationCostModel:
+    """Computes the wire size of a migrating agent.
+
+    Parameters
+    ----------
+    base_bytes:
+        Fixed cost of shipping the agent's code + runtime envelope. The
+        Aglets prototype shipped Java bytecode with each aglet; 2 KB is a
+        reasonable envelope for a small agent class.
+    serialization_overhead:
+        Multiplier applied to the state estimate (headers, type tags).
+    """
+
+    def __init__(
+        self, base_bytes: int = 2048, serialization_overhead: float = 1.2
+    ) -> None:
+        if base_bytes < 0:
+            raise ValueError(f"base_bytes must be >= 0: {base_bytes}")
+        if serialization_overhead < 1.0:
+            raise ValueError(
+                f"serialization_overhead must be >= 1: {serialization_overhead}"
+            )
+        self.base_bytes = base_bytes
+        self.serialization_overhead = serialization_overhead
+
+    def size_of(self, agent) -> int:
+        """Wire size in bytes for ``agent`` (uses its ``state()`` hook)."""
+        state = agent.state()
+        return int(
+            self.base_bytes
+            + self.serialization_overhead * estimate_size(state)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MigrationCostModel(base={self.base_bytes}, "
+            f"overhead={self.serialization_overhead})"
+        )

@@ -1,0 +1,184 @@
+"""Per-host agent platform (the Aglets "context" / Tahiti server).
+
+A platform hosts agents at one network host, launches their behaviours as
+simulation processes, and performs migrations with the paper's failure
+policy (§2): a migration attempt that does not complete within a timeout
+is retried; after a configured number of unsuccessful attempts the
+destination replica is declared unavailable for the current round and the
+agent stays put.
+
+Platforms also expose named local *services* — the stationary processes
+agents interact with ("we assume that mobile agents are capable of
+interacting with the stationary server processes", §2). In MARP the
+replica server registers itself as the ``"replica"`` service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Set
+
+from repro.errors import AgentError, MigrationError, ReplicaUnavailable
+from repro.agents.agent import MobileAgent
+from repro.agents.directory import PlatformDirectory
+from repro.agents.identity import AgentId, AgentIdFactory
+from repro.agents.mobility import MigrationCostModel
+from repro.net.network import Network
+from repro.sim.core import Environment, Process
+
+__all__ = ["AgentPlatform", "MobilityPolicy"]
+
+
+@dataclass
+class MobilityPolicy:
+    """Retry/timeout policy for migrations (paper §2).
+
+    Attributes
+    ----------
+    migration_timeout:
+        Milliseconds after which an in-flight migration is presumed
+        failed ("If a mobile agent cannot migrate ... after certain
+        amount of time, the protocol assumes that the replica process at
+        the host has temporarily failed").
+    max_attempts:
+        Attempts before the destination is declared unavailable ("After
+        certain number of such unsuccessful attempts, the protocol
+        declares the replica unavailable").
+    retry_backoff:
+        Extra delay between attempts, multiplied by the attempt number.
+    """
+
+    migration_timeout: float = 500.0
+    max_attempts: int = 3
+    retry_backoff: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.migration_timeout <= 0:
+            raise AgentError("migration_timeout must be > 0")
+        if self.max_attempts < 1:
+            raise AgentError("max_attempts must be >= 1")
+        if self.retry_backoff < 0:
+            raise AgentError("retry_backoff must be >= 0")
+
+
+class AgentPlatform:
+    """Agent runtime bound to one host of the network."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        host: str,
+        directory: PlatformDirectory,
+        policy: Optional[MobilityPolicy] = None,
+        cost_model: Optional[MigrationCostModel] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.host = host
+        self.directory = directory
+        self.policy = policy or MobilityPolicy()
+        self.cost_model = cost_model or MigrationCostModel()
+        self.endpoint = network.register(host)
+        self.id_factory = AgentIdFactory(host)
+        self.residents: Set[MobileAgent] = set()
+        self._services: Dict[str, Any] = {}
+        self.migrations_out = 0
+        self.migrations_failed = 0
+        directory.register(self)
+
+    # -- services ---------------------------------------------------------
+
+    def provide(self, name: str, service: Any) -> None:
+        """Expose a stationary service to visiting agents."""
+        if name in self._services:
+            raise AgentError(f"service {name!r} already provided at {self.host}")
+        self._services[name] = service
+
+    def service(self, name: str) -> Any:
+        try:
+            return self._services[name]
+        except KeyError:
+            raise AgentError(
+                f"no service {name!r} at host {self.host!r}"
+            ) from None
+
+    # -- agent lifecycle -----------------------------------------------------
+
+    def new_agent_id(self) -> AgentId:
+        return self.id_factory.new(self.env.now)
+
+    def launch(self, agent: MobileAgent, name: Optional[str] = None) -> Process:
+        """Start a freshly created agent's behaviour at this platform."""
+        if agent.platform is not None:
+            raise AgentError(f"{agent} is already hosted at {agent.location}")
+        agent._require_live()
+        agent.platform = self
+        self.residents.add(agent)
+        agent._record_arrival(self.env.now, self.host)
+        return self.env.process(
+            agent.behavior(), name=name or f"agent-{agent.agent_id}"
+        )
+
+    def remove(self, agent: MobileAgent) -> None:
+        """Detach a disposed or departing agent."""
+        self.residents.discard(agent)
+
+    # -- migration --------------------------------------------------------------
+
+    def transfer(self, agent: MobileAgent, dst: str):
+        """Sub-generator moving ``agent`` from this platform to ``dst``.
+
+        Applies the retry policy. On success returns the destination
+        platform (the agent is re-homed and its arrival recorded). On
+        exhaustion raises :class:`ReplicaUnavailable` with the agent still
+        resident here.
+        """
+        if agent.platform is not self:
+            raise AgentError(
+                f"{agent} is not resident at {self.host} (at {agent.location})"
+            )
+        if dst == self.host:
+            return self  # trivially "migrated"
+        if dst not in self.directory:
+            raise AgentError(f"unknown destination host {dst!r}")
+
+        size = self.cost_model.size_of(agent)
+        last_error: Optional[MigrationError] = None
+        for attempt in range(1, self.policy.max_attempts + 1):
+            self.migrations_out += 1
+            try:
+                yield from self.network.attempt_transfer(
+                    self.host,
+                    dst,
+                    size,
+                    timeout=self.policy.migration_timeout,
+                    kind="AGENT",
+                )
+            except MigrationError as err:
+                self.migrations_failed += 1
+                last_error = err
+                if attempt < self.policy.max_attempts and self.policy.retry_backoff:
+                    yield self.env.timeout(self.policy.retry_backoff * attempt)
+                continue
+            # Success: re-home the agent.
+            destination = self.directory.lookup(dst)
+            self.residents.discard(agent)
+            agent.platform = destination
+            destination.residents.add(agent)
+            agent.hops += 1
+            agent._record_arrival(self.env.now, dst)
+            return destination
+
+        raise ReplicaUnavailable(
+            f"replica {dst!r} declared unavailable after "
+            f"{self.policy.max_attempts} failed migration attempts "
+            f"(last: {last_error})",
+            replica=dst,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<AgentPlatform {self.host!r} residents={len(self.residents)} "
+            f"services={sorted(self._services)}>"
+        )

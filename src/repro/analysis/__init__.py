@@ -1,0 +1,47 @@
+"""Analysis layer: paper metrics, consistency audits, stats, tables."""
+
+from repro.analysis.consistency import AuditReport, assert_consistent, audit
+from repro.analysis.metrics import (
+    alt,
+    att,
+    committed_writes,
+    prk,
+    response_times,
+    throughput,
+    visit_counts,
+)
+from repro.analysis.export import (
+    ablation_to_csv,
+    comparison_to_csv,
+    comparison_to_json,
+    figure_to_csv,
+    figure_to_json,
+)
+from repro.analysis.stats import Summary, confidence_interval, summarize
+from repro.analysis.tables import format_series, format_table
+from repro.analysis.tracelog import ProtocolTrace, TraceEvent
+
+__all__ = [
+    "alt",
+    "att",
+    "prk",
+    "visit_counts",
+    "committed_writes",
+    "response_times",
+    "throughput",
+    "AuditReport",
+    "audit",
+    "assert_consistent",
+    "Summary",
+    "summarize",
+    "confidence_interval",
+    "format_table",
+    "format_series",
+    "ProtocolTrace",
+    "TraceEvent",
+    "figure_to_csv",
+    "figure_to_json",
+    "comparison_to_csv",
+    "comparison_to_json",
+    "ablation_to_csv",
+]

@@ -1,0 +1,110 @@
+"""ASCII chart rendering for figure data.
+
+The benchmark harness is plotting-library-free; these charts give the
+regenerated figures a visual shape directly in the terminal (alongside
+the exact numbers from :mod:`repro.analysis.tables`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = ["ascii_chart", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar sketch of a series (empty string for no data)."""
+    data = [v for v in values if not math.isnan(v)]
+    if not data:
+        return ""
+    low, high = min(data), max(data)
+    span = high - low
+    out = []
+    for value in values:
+        if math.isnan(value):
+            out.append(" ")
+            continue
+        level = 0 if span == 0 else int(
+            (value - low) / span * (len(_SPARK_LEVELS) - 1)
+        )
+        out.append(_SPARK_LEVELS[level])
+    return "".join(out)
+
+
+def ascii_chart(
+    x_values: Sequence[float],
+    series: "dict[str, Sequence[float]]",
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "",
+    title: str = "",
+) -> str:
+    """Multi-series ASCII scatter/line chart.
+
+    Each series is plotted with its own marker; axes are annotated with
+    the value ranges. Intended for monotone experiment series, not as a
+    general plotting tool.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    markers = "ox+*#@%&"
+    names = list(series)
+    all_y = [
+        v for name in names for v in series[name] if not math.isnan(v)
+    ]
+    if not all_y or not x_values:
+        return "(no data)"
+    y_low, y_high = min(all_y), max(all_y)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    x_low, x_high = min(x_values), max(x_values)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+
+    grid: List[List[str]] = [
+        [" "] * width for _ in range(height)
+    ]
+
+    def place(x: float, y: float, marker: str) -> None:
+        col = int((x - x_low) / (x_high - x_low) * (width - 1))
+        row = int((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    for index, name in enumerate(names):
+        marker = markers[index % len(markers)]
+        for x, y in zip(x_values, series[name]):
+            if not math.isnan(y):
+                place(x, y, marker)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        len(f"{y_high:.4g}"), len(f"{y_low:.4g}")
+    )
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_high:.4g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_low:.4g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    x_axis = f"{' ' * label_width} +{'-' * width}"
+    lines.append(x_axis)
+    x_annot = (
+        f"{' ' * label_width}  {f'{x_low:.4g}'}"
+        f"{' ' * max(1, width - len(f'{x_low:.4g}') - len(f'{x_high:.4g}'))}"
+        f"{f'{x_high:.4g}'}"
+    )
+    lines.append(x_annot)
+    if x_label:
+        lines.append(f"{' ' * label_width}  {x_label.center(width)}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(names)
+    )
+    lines.append(f"{' ' * label_width}  {legend}")
+    return "\n".join(lines)

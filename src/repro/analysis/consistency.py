@@ -1,0 +1,159 @@
+"""Post-run consistency audits (DESIGN.md §5).
+
+The auditor inspects every replica's store and commit history after a
+run and checks, in decreasing order of strength:
+
+* **identical histories** — every replica committed exactly the same
+  sequence (the paper's "order preserving" claim; can legitimately be
+  weakened by in-flight COMMIT reordering on heavy-tailed links, where a
+  replica skips a superseded version);
+* **divergence-free** — the same ``(key, version)`` never maps to
+  different requests/values at different replicas (the single-copy
+  illusion; violated e.g. by Available Copies under partition);
+* **monotone** — each replica applied strictly increasing versions per
+  key;
+* **complete** — every replica holds every committed version (write-all
+  application; gaps arise from crashes or skipped superseded versions);
+* **final-state equality** — all stores agree at quiescence.
+
+``consistent`` (the invariant every run must satisfy) requires
+divergence-free + monotone + final-state equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import ConsistencyViolation
+from repro.replication.deployment import Deployment
+
+__all__ = ["AuditReport", "audit", "assert_consistent"]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one consistency audit."""
+
+    final_state_equal: bool
+    divergence_free: bool
+    monotone: bool
+    complete: bool
+    identical_histories: bool
+    total_commits: int
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """The invariants every (failure-free or recovered) run must hold."""
+        return self.final_state_equal and self.divergence_free and self.monotone
+
+    def __repr__(self) -> str:
+        return (
+            f"<AuditReport consistent={self.consistent} "
+            f"final={self.final_state_equal} divergence_free={self.divergence_free} "
+            f"monotone={self.monotone} complete={self.complete} "
+            f"identical={self.identical_histories} commits={self.total_commits}>"
+        )
+
+
+def audit(deployment: Deployment, exclude=()) -> AuditReport:
+    """Audit the replicas of a deployment. Never raises.
+
+    ``exclude`` names replicas to leave out — hosts that are down at
+    audit time and will only converge after a recovery sync that cannot
+    happen within the run (e.g. the permanently crashed replicas of the
+    availability experiment).
+    """
+    excluded = set(exclude)
+    hosts = [h for h in deployment.hosts if h not in excluded]
+    problems: List[str] = []
+
+    # --- final-state equality ------------------------------------------------
+    finals = {}
+    for host in hosts:
+        snapshot = deployment.server(host).store.snapshot()
+        finals[host] = tuple(
+            sorted(
+                (key, vv.version, repr(vv.value))
+                for key, vv in snapshot.items()
+            )
+        )
+    final_state_equal = len(set(finals.values())) <= 1
+    if not final_state_equal:
+        problems.append(
+            "final states differ: "
+            + "; ".join(f"{h}={finals[h]}" for h in hosts)
+        )
+
+    # --- per-replica monotonicity ------------------------------------------
+    monotone = True
+    for host in hosts:
+        last_version: Dict[str, int] = {}
+        for record in deployment.server(host).history:
+            prev = last_version.get(record.key, 0)
+            if record.version <= prev:
+                monotone = False
+                problems.append(
+                    f"{host}: non-monotone version {record.version} <= "
+                    f"{prev} for key {record.key!r}"
+                )
+            last_version[record.key] = record.version
+
+    # --- divergence: (key, version) -> (request, value) must be global ----
+    divergence_free = True
+    seen: Dict[Tuple[str, int], Tuple[int, str, str]] = {}
+    for host in hosts:
+        for record in deployment.server(host).history:
+            slot = (record.key, record.version)
+            claim = (record.request_id, repr(record.value), host)
+            prior = seen.get(slot)
+            if prior is None:
+                seen[slot] = claim
+            elif prior[:2] != claim[:2]:
+                divergence_free = False
+                problems.append(
+                    f"divergent commit at {slot}: {prior} vs {claim}"
+                )
+
+    # --- completeness: every replica has every committed version ----------
+    committed_slots = set(seen)
+    complete = True
+    for host in hosts:
+        have = {
+            (r.key, r.version) for r in deployment.server(host).history
+        }
+        missing = committed_slots - have
+        if missing:
+            complete = False
+            problems.append(
+                f"{host} missing {len(missing)} committed versions "
+                f"(e.g. {sorted(missing)[:3]})"
+            )
+
+    # --- identical full histories ------------------------------------------
+    identities = {
+        host: tuple(deployment.server(host).history.identities())
+        for host in hosts
+    }
+    identical_histories = len(set(identities.values())) <= 1
+
+    return AuditReport(
+        final_state_equal=final_state_equal,
+        divergence_free=divergence_free,
+        monotone=monotone,
+        complete=complete,
+        identical_histories=identical_histories,
+        total_commits=len(committed_slots),
+        problems=problems,
+    )
+
+
+def assert_consistent(deployment: Deployment) -> AuditReport:
+    """Audit and raise :class:`ConsistencyViolation` on failure."""
+    report = audit(deployment)
+    if not report.consistent:
+        raise ConsistencyViolation(
+            "consistency audit failed:\n  " + "\n  ".join(report.problems)
+        )
+    return report

@@ -1,0 +1,116 @@
+"""Machine-readable export of experiment artefacts.
+
+Figures and comparison tables render to CSV and JSON so downstream
+plotting (matplotlib notebooks, gnuplot, spreadsheets) can consume the
+regenerated evaluation without scraping text tables. Used by the CLI's
+``--format`` option.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import TYPE_CHECKING, Any, Dict, List
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.ablations import AblationTable
+    from repro.experiments.common import FigureData
+    from repro.experiments.table_comparison import ComparisonTable
+
+__all__ = [
+    "figure_to_rows",
+    "figure_to_csv",
+    "figure_to_json",
+    "comparison_to_rows",
+    "comparison_to_csv",
+    "comparison_to_json",
+    "ablation_to_csv",
+]
+
+
+def _csv_from_rows(header: List[str], rows: List[List[Any]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(header)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+# -- figures --------------------------------------------------------------
+
+
+def figure_to_rows(figure: "FigureData"):
+    """``(header, rows)`` for a figure: x column + one column per series."""
+    names = list(figure.series)
+    header = [figure.x_label] + names
+    rows = [
+        [x] + [figure.series[name][index] for name in names]
+        for index, x in enumerate(figure.x_values)
+    ]
+    return header, rows
+
+
+def figure_to_csv(figure: "FigureData") -> str:
+    """Figure as CSV: x column plus one column per series."""
+    header, rows = figure_to_rows(figure)
+    return _csv_from_rows(header, rows)
+
+
+def figure_to_json(figure: "FigureData") -> str:
+    """Figure as a JSON document (title, x, series, audit flag)."""
+    return json.dumps(
+        {
+            "title": figure.title,
+            "x_label": figure.x_label,
+            "x": list(figure.x_values),
+            "series": {k: list(v) for k, v in figure.series.items()},
+            "all_consistent": figure.all_consistent,
+        },
+        indent=2,
+    )
+
+
+# -- comparison tables ----------------------------------------------------------
+
+
+_COMPARISON_FIELDS = [
+    "protocol", "latency", "mean_interarrival", "committed", "failed",
+    "att", "control_messages", "control_bytes", "agent_migrations",
+    "agent_bytes", "msgs_per_commit", "consistent",
+]
+
+
+def comparison_to_rows(table: "ComparisonTable"):
+    """``(header, rows)`` for a protocol-comparison table."""
+    rows = [
+        [getattr(row, field) for field in _COMPARISON_FIELDS]
+        for row in table.rows
+    ]
+    return list(_COMPARISON_FIELDS), rows
+
+
+def comparison_to_csv(table: "ComparisonTable") -> str:
+    """Comparison table as CSV."""
+    header, rows = comparison_to_rows(table)
+    return _csv_from_rows(header, rows)
+
+
+def comparison_to_json(table: "ComparisonTable") -> str:
+    """Comparison table as a JSON document."""
+    header, rows = comparison_to_rows(table)
+    return json.dumps(
+        {
+            "title": table.title,
+            "rows": [dict(zip(header, row)) for row in rows],
+        },
+        indent=2,
+    )
+
+
+# -- ablation tables ---------------------------------------------------------------
+
+
+def ablation_to_csv(table: "AblationTable") -> str:
+    """Ablation table as CSV."""
+    return _csv_from_rows(list(table.headers), [list(r) for r in table.rows])

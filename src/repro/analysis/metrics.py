@@ -1,0 +1,117 @@
+"""The paper's evaluation metrics (§4).
+
+* **ALT** — "the average time required by a mobile agent to obtain the
+  lock" (dispatch → lock acquisition).
+* **ATT** — "the average total time required by a mobile agent to process
+  an update request", including the UPDATE/COMMIT messaging (dispatch →
+  completion).
+* **PRK** — "the percentage of requests whose lock is obtained by
+  visiting K number of servers".
+
+All metrics are pure functions over lists of
+:class:`~repro.replication.requests.RequestRecord`, so they apply to any
+protocol (for the baselines, ALT is the quorum-assembly time and PRK is
+undefined). Aggregation is vectorised with numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.replication.requests import RequestRecord
+
+__all__ = [
+    "committed_writes",
+    "alt",
+    "att",
+    "prk",
+    "visit_counts",
+    "response_times",
+    "throughput",
+]
+
+
+def committed_writes(records: Iterable[RequestRecord]) -> List[RequestRecord]:
+    """The records that contribute to the paper's update metrics."""
+    return [r for r in records if r.is_write and r.status == "committed"]
+
+
+def _mean(values: List[float]) -> float:
+    if not values:
+        return float("nan")
+    return float(np.mean(values))
+
+
+def alt(records: Iterable[RequestRecord]) -> float:
+    """Average Lock Time in ms (nan when no commits)."""
+    return _mean(
+        [r.lock_time for r in committed_writes(records) if r.lock_time is not None]
+    )
+
+
+def att(records: Iterable[RequestRecord]) -> float:
+    """Average Total Time in ms (nan when no commits)."""
+    return _mean(
+        [r.total_time for r in committed_writes(records) if r.total_time is not None]
+    )
+
+
+def visit_counts(records: Iterable[RequestRecord]) -> np.ndarray:
+    """Distinct-server visit counts at lock acquisition, one per commit."""
+    return np.asarray(
+        [
+            r.visits_to_lock
+            for r in committed_writes(records)
+            if r.visits_to_lock is not None
+        ],
+        dtype=int,
+    )
+
+
+def prk(
+    records: Iterable[RequestRecord], n_replicas: Optional[int] = None
+) -> Dict[int, float]:
+    """Fraction of committed updates whose lock needed K server visits.
+
+    Returns ``{K: fraction}``; when ``n_replicas`` is given, every K from
+    the theoretical minimum ⌈(N+1)/2⌉ to N appears (possibly 0.0), which
+    is the shape of the paper's Figure 4 series.
+    """
+    counts = visit_counts(records)
+    out: Dict[int, float] = {}
+    if n_replicas is not None:
+        for k in range(n_replicas // 2 + 1, n_replicas + 1):
+            out[k] = 0.0
+    if counts.size == 0:
+        return out
+    values, freq = np.unique(counts, return_counts=True)
+    total = counts.size
+    for value, count in zip(values, freq):
+        out[int(value)] = float(count) / total
+    return out
+
+
+def response_times(records: Iterable[RequestRecord]) -> np.ndarray:
+    """Client-perceived latencies of all completed requests."""
+    return np.asarray(
+        [
+            r.response_time
+            for r in records
+            if r.response_time is not None and r.status in ("committed", "read-done")
+        ],
+        dtype=float,
+    )
+
+
+def throughput(records: Iterable[RequestRecord]) -> float:
+    """Committed updates per second of simulated time (0 when < 2)."""
+    commits = committed_writes(records)
+    if len(commits) < 2:
+        return 0.0
+    times = np.asarray([r.completed_at for r in commits], dtype=float)
+    span_ms = float(times.max() - times.min())
+    if span_ms <= 0:
+        return 0.0
+    return (len(commits) - 1) / (span_ms / 1000.0)

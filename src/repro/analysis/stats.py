@@ -1,0 +1,83 @@
+"""Summary statistics for experiment aggregation.
+
+Replicated simulation runs (different seeds) are summarised with means
+and Student-t confidence intervals — the standard reporting discipline
+for stochastic discrete-event experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+try:  # scipy is an optional dependency of the analysis layer
+    from scipy import stats as _scipy_stats
+except ImportError:  # pragma: no cover - scipy is installed in CI
+    _scipy_stats = None
+
+__all__ = ["Summary", "summarize", "confidence_interval"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Point and spread statistics of one metric across repeats."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    ci_low: float
+    ci_high: float
+
+    def __repr__(self) -> str:
+        return (
+            f"Summary(n={self.n}, mean={self.mean:.3g} "
+            f"[{self.ci_low:.3g}, {self.ci_high:.3g}])"
+        )
+
+
+def _t_critical(df: int, confidence: float) -> float:
+    if _scipy_stats is not None:
+        return float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df))
+    # Normal approximation fallback (df large enough in practice).
+    return {0.90: 1.645, 0.95: 1.96, 0.99: 2.576}.get(confidence, 1.96)
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Student-t CI for the mean; degenerate interval for n < 2."""
+    data = np.asarray([v for v in values if not np.isnan(v)], dtype=float)
+    if data.size == 0:
+        return (float("nan"), float("nan"))
+    mean = float(data.mean())
+    if data.size == 1:
+        return (mean, mean)
+    sem = float(data.std(ddof=1)) / np.sqrt(data.size)
+    half = _t_critical(data.size - 1, confidence) * sem
+    return (mean - half, mean + half)
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Full summary of a metric sample (nan-filtering)."""
+    data = np.asarray([v for v in values if not np.isnan(v)], dtype=float)
+    if data.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    low, high = confidence_interval(data, confidence)
+    return Summary(
+        n=int(data.size),
+        mean=float(data.mean()),
+        std=float(data.std(ddof=1)) if data.size > 1 else 0.0,
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        p50=float(np.percentile(data, 50)),
+        p95=float(np.percentile(data, 95)),
+        ci_low=low,
+        ci_high=high,
+    )

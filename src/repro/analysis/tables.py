@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmark harness prints the regenerated figures as aligned text
+tables (one row per x-value, one column per series) so ``pytest
+benchmarks/ --benchmark-only`` reproduces the paper's evaluation
+artefacts without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_cell"]
+
+
+def format_cell(value: Any, precision: int = 1) -> str:
+    """Human-friendly cell formatting (floats rounded, None blank)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    precision: int = 1,
+) -> str:
+    """Render an aligned text table."""
+    str_rows: List[List[str]] = [
+        [format_cell(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(str(h)) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.rjust(widths[i]) if i else cell.ljust(widths[i])
+            for i, cell in enumerate(cells)
+        )
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), 8))
+    lines.append(fmt_row([str(h) for h in headers]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[Any],
+    series: "dict[str, Sequence[Any]]",
+    title: Optional[str] = None,
+    precision: int = 1,
+) -> str:
+    """Render figure-style data: x column plus one column per series."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, "
+                f"expected {len(x_values)}"
+            )
+    rows = [
+        [x] + [series[name][index] for name in names]
+        for index, x in enumerate(x_values)
+    ]
+    return format_table([x_label] + names, rows, title=title,
+                        precision=precision)

@@ -1,0 +1,149 @@
+"""Protocol event tracing and text visualisation.
+
+The paper's prototype had "an interface ... to visualize the execution"
+of the algorithms; this is its library equivalent. When tracing is
+enabled on a deployment (``deployment.enable_tracing()``), the MARP
+agents and replica servers record structured :class:`TraceEvent`s —
+dispatch, migration, lock requests, parking, claims, grants, commits —
+which can be rendered as a chronological log or as per-agent journey
+summaries. Tracing is off by default and costs nothing when disabled.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import format_table
+
+__all__ = ["TraceEvent", "ProtocolTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured protocol event."""
+
+    time: float
+    kind: str
+    host: Optional[str] = None
+    agent: Optional[str] = None
+    request_id: Optional[int] = None
+    detail: str = ""
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.time:.2f}ms {self.kind} host={self.host} "
+            f"agent={self.agent}>"
+        )
+
+
+class ProtocolTrace:
+    """Append-only structured event log for one deployment run."""
+
+    #: The event vocabulary (documented so downstream tooling can rely
+    #: on it): agent lifecycle + server-side commit pipeline.
+    KINDS = (
+        "dispatch",      # agent created and launched at its home server
+        "migrate",       # agent departed toward a host
+        "arrive",        # agent arrived at a host
+        "visit",         # agent interacted with the replica (lock/LT)
+        "park",          # agent waits for a lock release
+        "wake",          # parked agent resumed
+        "lock-won",      # priority rule satisfied
+        "claim",         # UPDATE broadcast (grant acquisition)
+        "claim-failed",  # grants not assembled; RELEASE broadcast
+        "commit",        # COMMIT broadcast by the winner
+        "abort",         # agent gave up the request
+        "grant",         # server issued an update grant (ACK)
+        "nack",          # server refused a grant
+        "apply",         # server applied a committed write
+        "recover",       # server resynchronised after a crash
+        "unavailable",   # a replica was declared unavailable
+    )
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self.events: List[TraceEvent] = []
+        self.capacity = capacity
+        self.dropped = 0
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        host: Optional[str] = None,
+        agent: Optional[str] = None,
+        request_id: Optional[int] = None,
+        detail: str = "",
+    ) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(
+                time=time, kind=kind, host=host, agent=agent,
+                request_id=request_id, detail=detail,
+            )
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_agent(self, agent: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.agent == agent]
+
+    def counts(self) -> Counter:
+        return Counter(e.kind for e in self.events)
+
+    # -- rendering -----------------------------------------------------------
+
+    def render_log(self, limit: Optional[int] = 50) -> str:
+        """Chronological event log as an aligned table."""
+        events = self.events if limit is None else self.events[:limit]
+        rows = [
+            [f"{e.time:.2f}", e.kind, e.host or "-", e.agent or "-",
+             e.detail]
+            for e in events
+        ]
+        suffix = ""
+        if limit is not None and len(self.events) > limit:
+            suffix = f"\n... {len(self.events) - limit} more events"
+        return format_table(
+            ["time(ms)", "event", "host", "agent", "detail"], rows,
+            title="protocol trace",
+        ) + suffix
+
+    def journeys(self) -> Dict[str, str]:
+        """Per-agent itinerary summaries like ``s1 > s2 > s3 [commit]``."""
+        paths: Dict[str, List[str]] = {}
+        outcome: Dict[str, str] = {}
+        for event in self.events:
+            if event.agent is None:
+                continue
+            if event.kind in ("dispatch", "arrive"):
+                paths.setdefault(event.agent, []).append(event.host or "?")
+            elif event.kind in ("commit", "abort"):
+                outcome[event.agent] = event.kind
+        return {
+            agent: " > ".join(path) + f" [{outcome.get(agent, 'running')}]"
+            for agent, path in paths.items()
+        }
+
+    def render_journeys(self) -> str:
+        rows = [
+            [agent, journey] for agent, journey in sorted(
+                self.journeys().items()
+            )
+        ]
+        return format_table(["agent", "journey"], rows,
+                            title="agent journeys")
+
+    def __repr__(self) -> str:
+        return f"<ProtocolTrace events={len(self.events)}>"

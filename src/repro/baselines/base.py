@@ -1,0 +1,417 @@
+"""Shared machinery for the message-passing baseline protocols.
+
+The paper argues (§1) that conventional replication protocols are
+expensive because "multiple local processes need to participate in
+sessions of passing messages and waiting for replies" with "several
+rounds of message exchange". To quantify that claim (experiments T1/T2
+in DESIGN.md) we implement the classic protocols the paper cites over
+the *same* deployment substrate as MARP:
+
+* every host runs a :class:`BaselineDaemon` — the stationary process that
+  votes/locks/applies on behalf of the protocol;
+* writes are driven by a coordinator process at the request's home server
+  using rounds of ``LOCK → GRANT/NACK → APPLY`` (or ``ABORT`` + retry)
+  messages, with per-key leases and epoch-tagged replies so stale
+  messages from abandoned rounds are ignored;
+* stores/histories are the very same per-replica objects MARP uses, so
+  the consistency auditor applies unchanged.
+
+Message kinds are prefixed per protocol (``MCV_LOCK``, ``WV_GRANT``, …)
+so daemons coexist with the MARP replica server on the same endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.net.message import Message
+from repro.replication.deployment import Deployment
+from repro.replication.history import CommitRecord
+from repro.replication.protocol import ReplicationProtocol
+from repro.replication.requests import RequestRecord
+from repro.replication.server import WriteOp
+
+__all__ = ["BaselineDaemon", "QuorumProtocol"]
+
+
+class BaselineDaemon:
+    """Per-host stationary process of a message-passing protocol."""
+
+    def __init__(self, protocol: "QuorumProtocol", host: str) -> None:
+        self.protocol = protocol
+        self.host = host
+        self.env = protocol.env
+        self.network = protocol.deployment.network
+        self.endpoint = protocol.deployment.platform(host).endpoint
+        self.server = protocol.deployment.server(host)
+        prefix = protocol.prefix
+        self._kinds = {
+            f"{prefix}_LOCK",
+            f"{prefix}_APPLY",
+            f"{prefix}_ABORT",
+            f"{prefix}_READV",
+        }
+        # key -> (holder rid, holder epoch, lease expiry). The epoch
+        # guards against a retry's LOCK overtaking the previous
+        # attempt's ABORT in the network: a release may only clear a
+        # grant from the same or a later epoch.
+        self.locks: Dict[str, Tuple[int, int, float]] = {}
+        self.grants_given = 0
+        self.nacks_given = 0
+        self.env.process(self._loop(), name=f"{prefix}-daemon-{host}")
+
+    # ------------------------------------------------------------------
+
+    def _loop(self):
+        prefix = self.protocol.prefix
+        while True:
+            msg: Message = yield self.endpoint.receive(
+                match=lambda m: m.kind in self._kinds
+            )
+            if not self.network.host_up(self.host):
+                continue
+            apply_time = self.server.config.update_apply_time
+            if apply_time > 0:
+                yield self.env.timeout(apply_time)
+            kind = msg.kind[len(prefix) + 1 :]
+            if kind == "LOCK":
+                self._on_lock(msg)
+            elif kind == "APPLY":
+                self._on_apply(msg)
+            elif kind == "ABORT":
+                self._on_abort(msg)
+            elif kind == "READV":
+                self._on_readv(msg)
+
+    def _lock_is_free(self, key: str, rid: int) -> bool:
+        held = self.locks.get(key)
+        if held is None:
+            return True
+        holder, _epoch, expires = held
+        return holder == rid or self.env.now > expires
+
+    def _on_lock(self, msg: Message) -> None:
+        p = msg.payload
+        prefix = self.protocol.prefix
+        if self._lock_is_free(p["key"], p["rid"]):
+            held = self.locks.get(p["key"])
+            # Same-holder re-locks keep the newest epoch (a stale LOCK
+            # must not roll the epoch back under a newer grant).
+            epoch = p["epoch"]
+            if held is not None and held[0] == p["rid"]:
+                epoch = max(epoch, held[1])
+            self.locks[p["key"]] = (
+                p["rid"],
+                epoch,
+                self.env.now + self.protocol.lock_ttl,
+            )
+            self.grants_given += 1
+            self.endpoint.send(
+                p["reply_to"],
+                f"{prefix}_GRANT",
+                payload={
+                    "rid": p["rid"],
+                    "epoch": p["epoch"],
+                    "from": self.host,
+                    "votes": self.protocol.votes_of(self.host),
+                    "version": self.server.store.version_of(p["key"]),
+                },
+            )
+        else:
+            self.nacks_given += 1
+            self.endpoint.send(
+                p["reply_to"],
+                f"{prefix}_NACK",
+                payload={
+                    "rid": p["rid"],
+                    "epoch": p["epoch"],
+                    "from": self.host,
+                    "votes": self.protocol.votes_of(self.host),
+                },
+            )
+
+    def _on_apply(self, msg: Message) -> None:
+        p = msg.payload
+        for write in p["writes"]:  # APPLY is terminal: release any epoch
+            applied = self.server.store.apply(
+                write.key, write.value, write.version, self.env.now
+            )
+            if applied:
+                self.server.history.append(
+                    CommitRecord(
+                        request_id=write.request_id,
+                        key=write.key,
+                        value=write.value,
+                        version=write.version,
+                        committed_at=self.env.now,
+                        origin=p["origin"],
+                    )
+                )
+        self._release(p["rid"])
+
+    def _on_abort(self, msg: Message) -> None:
+        p = msg.payload
+        self._release(p["rid"], up_to_epoch=p.get("epoch"))
+
+    def _release(self, rid: int, up_to_epoch: int = None) -> None:
+        """Free this rid's grants.
+
+        With ``up_to_epoch`` given (an ABORT), grants from a *newer*
+        epoch survive — the abort is stale relative to a re-lock that
+        overtook it in the network.
+        """
+        for key, (holder, epoch, _expires) in list(self.locks.items()):
+            if holder != rid:
+                continue
+            if up_to_epoch is not None and epoch > up_to_epoch:
+                continue
+            del self.locks[key]
+
+    def _on_readv(self, msg: Message) -> None:
+        p = msg.payload
+        entry = self.server.store.read(p["key"])
+        self.endpoint.send(
+            p["reply_to"],
+            f"{self.protocol.prefix}_RVAL",
+            payload={
+                "rid": p["rid"],
+                "from": self.host,
+                "votes": self.protocol.votes_of(self.host),
+                "version": entry.version if entry else 0,
+                "value": entry.value if entry else None,
+            },
+        )
+
+
+class QuorumProtocol(ReplicationProtocol):
+    """Generic voting/locking write engine.
+
+    Parameterised by vote weights and read/write quorum sizes; the
+    concrete baselines (MCV, weighted voting, available copies) are
+    configurations and small specialisations of this engine.
+    """
+
+    name = "quorum"
+    prefix = "Q"
+    #: Per-host daemon implementation; subclasses may swap in a
+    #: different locking discipline (e.g. blocking 2PL).
+    daemon_class = BaselineDaemon
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        votes: Optional[Dict[str, int]] = None,
+        write_quorum: Optional[int] = None,
+        read_quorum: Optional[int] = None,
+        lock_timeout: float = 500.0,
+        lock_ttl: float = 10_000.0,
+        retry_backoff: float = 25.0,
+        max_rounds: int = 20,
+        local_reads: bool = False,
+        enforce_quorum_intersection: bool = True,
+    ) -> None:
+        super().__init__(deployment)
+        hosts = deployment.hosts
+        self.votes: Dict[str, int] = votes or {h: 1 for h in hosts}
+        total = sum(self.votes.values())
+        self.total_votes = total
+        self.write_quorum = (
+            write_quorum if write_quorum is not None else total // 2 + 1
+        )
+        self.read_quorum = (
+            read_quorum if read_quorum is not None else total // 2 + 1
+        )
+        if enforce_quorum_intersection:
+            # Gifford's constraints; available-copies deliberately opts
+            # out (that is exactly its partition vulnerability).
+            if self.write_quorum + self.read_quorum <= total:
+                raise ValueError(
+                    f"r + w must exceed total votes: r={self.read_quorum} "
+                    f"w={self.write_quorum} total={total}"
+                )
+            if 2 * self.write_quorum <= total:
+                raise ValueError(
+                    f"w must exceed half the votes: w={self.write_quorum} "
+                    f"total={total}"
+                )
+        self.lock_timeout = lock_timeout
+        self.lock_ttl = lock_ttl
+        self.retry_backoff = retry_backoff
+        self.max_rounds = max_rounds
+        self.local_reads = local_reads
+        self.daemons = {h: self.daemon_class(self, h) for h in hosts}
+        self._stream = deployment.streams.stream(f"{self.prefix}.backoff")
+
+    def votes_of(self, host: str) -> int:
+        return self.votes.get(host, 0)
+
+    # -- write path -------------------------------------------------------
+
+    def _start_write(self, record: RequestRecord) -> None:
+        self.env.process(
+            self._write_coordinator(record),
+            name=f"{self.prefix}-write-{record.request_id}",
+        )
+
+    def _write_coordinator(self, record: RequestRecord):
+        env = self.env
+        endpoint = self.deployment.platform(record.home).endpoint
+        prefix = self.prefix
+        record.dispatched_at = env.now
+
+        for attempt in range(1, self.max_rounds + 1):
+            epoch = attempt
+            endpoint.broadcast(
+                f"{prefix}_LOCK",
+                payload={
+                    "rid": record.request_id,
+                    "epoch": epoch,
+                    "key": record.key,
+                    "reply_to": record.home,
+                },
+                include_self=True,
+            )
+            grants, granted_votes = yield from self._gather_grants(
+                endpoint, record.request_id, epoch
+            )
+            if granted_votes >= self.write_quorum:
+                record.lock_acquired_at = env.now
+                record.extra["lock_rounds"] = attempt
+                version = 1 + max(v for _host, (_w, v) in grants.items())
+                writes = (
+                    WriteOp(
+                        request_id=record.request_id,
+                        key=record.key,
+                        value=record.value,
+                        version=version,
+                    ),
+                )
+                self._apply(endpoint, record, writes, grants)
+                record.completed_at = env.now
+                record.status = "committed"
+                return
+            # Conflict: release everything and retry after a randomized,
+            # linearly growing backoff (the classic voting retry loop).
+            endpoint.broadcast(
+                f"{prefix}_ABORT",
+                payload={"rid": record.request_id, "epoch": epoch},
+                include_self=True,
+            )
+            if self.retry_backoff > 0:
+                yield env.timeout(
+                    self._stream.exponential(self.retry_backoff * attempt)
+                )
+        record.completed_at = env.now
+        record.extra["lock_rounds"] = self.max_rounds
+        record.status = "failed"
+
+    def _gather_grants(self, endpoint, rid: int, epoch: int):
+        """Collect GRANT/NACK replies until quorum, impossibility or
+        timeout. Returns ``(grants, granted_votes)``."""
+        env = self.env
+        prefix = self.prefix
+        grants: Dict[str, Tuple[int, int]] = {}  # host -> (votes, version)
+        nack_votes = 0
+        granted_votes = 0
+        deadline = env.timeout(self.lock_timeout)
+        while granted_votes < self.write_quorum:
+            reply = endpoint.receive(
+                match=lambda m: (
+                    m.kind in (f"{prefix}_GRANT", f"{prefix}_NACK")
+                    and m.payload["rid"] == rid
+                    and m.payload["epoch"] == epoch
+                ),
+            )
+            yield reply | deadline
+            if not reply.processed:
+                if not reply.triggered:
+                    reply.succeed(None)
+                break
+            msg = reply.value
+            p = msg.payload
+            if msg.kind == f"{prefix}_GRANT":
+                if p["from"] not in grants:
+                    grants[p["from"]] = (p["votes"], p["version"])
+                    granted_votes += p["votes"]
+            else:
+                nack_votes += p["votes"]
+                if self.total_votes - nack_votes < self.write_quorum:
+                    break
+        return grants, granted_votes
+
+    def _apply(self, endpoint, record, writes, grants) -> None:
+        """Propagate the accepted update. Default: write-all broadcast."""
+        endpoint.broadcast(
+            f"{self.prefix}_APPLY",
+            payload={
+                "rid": record.request_id,
+                "writes": writes,
+                "origin": record.home,
+            },
+            include_self=True,
+        )
+
+    # -- read path ---------------------------------------------------------------
+
+    def _start_read(self, record: RequestRecord) -> None:
+        if self.local_reads or self.read_quorum <= 1:
+            self._start_local_read(record)
+        else:
+            self.env.process(
+                self._read_coordinator(record),
+                name=f"{self.prefix}-read-{record.request_id}",
+            )
+
+    def _start_local_read(self, record: RequestRecord) -> None:
+        def reader():
+            server = self.deployment.server(record.home)
+            if server.config.read_service_time > 0:
+                yield self.env.timeout(server.config.read_service_time)
+            entry = server.read(record.key)
+            record.value = entry.value if entry else None
+            record.extra["version"] = entry.version if entry else 0
+            record.completed_at = self.env.now
+            record.status = "read-done"
+
+        record.dispatched_at = self.env.now
+        self.env.process(reader(), name=f"{self.prefix}-lread-{record.request_id}")
+
+    def _read_coordinator(self, record: RequestRecord):
+        env = self.env
+        endpoint = self.deployment.platform(record.home).endpoint
+        prefix = self.prefix
+        record.dispatched_at = env.now
+        endpoint.broadcast(
+            f"{prefix}_READV",
+            payload={
+                "rid": record.request_id,
+                "key": record.key,
+                "reply_to": record.home,
+            },
+            include_self=True,
+        )
+        best_version, best_value = 0, None
+        votes = 0
+        replied: Set[str] = set()
+        deadline = env.timeout(self.lock_timeout)
+        while votes < self.read_quorum:
+            reply = endpoint.receive(
+                kind=f"{prefix}_RVAL",
+                match=lambda m: m.payload["rid"] == record.request_id,
+            )
+            yield reply | deadline
+            if not reply.processed:
+                if not reply.triggered:
+                    reply.succeed(None)
+                break
+            p = reply.value.payload
+            if p["from"] in replied:
+                continue
+            replied.add(p["from"])
+            votes += p["votes"]
+            if p["version"] >= best_version:
+                best_version, best_value = p["version"], p["value"]
+        record.value = best_value
+        record.extra["version"] = best_version
+        record.completed_at = env.now
+        record.status = "read-done" if votes >= self.read_quorum else "failed"

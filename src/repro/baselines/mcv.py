@@ -1,0 +1,34 @@
+"""Majority Consensus Voting (Thomas 1979) — message-passing baseline.
+
+The scheme MARP builds on (paper §1: "The protocol is based on the
+well-known Majority Consensus Voting (MCV) scheme [11]"), here in its
+conventional form: a stationary coordinator at the request's home server
+gathers a *majority of votes* through rounds of request/grant messages,
+applies the update at all replicas, and retries with backoff on
+conflict. Reads also assemble a majority so they always observe the
+latest accepted update (r = w = ⌈(N+1)/2⌉, r + w > N).
+
+Every replica holds one vote, which is exactly Thomas's original majority
+consensus and the degenerate case of Gifford's weighted voting.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import QuorumProtocol
+from repro.replication.deployment import Deployment
+
+__all__ = ["MajorityConsensusVoting"]
+
+
+class MajorityConsensusVoting(QuorumProtocol):
+    """One vote per replica; majority read and write quorums."""
+
+    name = "mcv"
+    prefix = "MCV"
+
+    def __init__(self, deployment: Deployment, **kwargs) -> None:
+        kwargs.setdefault("votes", {h: 1 for h in deployment.hosts})
+        n = len(deployment.hosts)
+        kwargs.setdefault("write_quorum", n // 2 + 1)
+        kwargs.setdefault("read_quorum", n // 2 + 1)
+        super().__init__(deployment, **kwargs)

@@ -1,0 +1,181 @@
+"""Primary Copy — the centralised baseline.
+
+All writes are forwarded to one designated primary, which serialises
+them locally (a trivially consistent total order), applies eagerly at
+every replica, and acknowledges the origin. Reads are local. It is the
+latency floor for uncontended writes and the availability worst case: a
+crashed primary stalls every write until it recovers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.message import Message
+from repro.replication.deployment import Deployment
+from repro.replication.history import CommitRecord
+from repro.replication.protocol import ReplicationProtocol
+from repro.replication.requests import RequestRecord
+from repro.replication.server import WriteOp
+
+__all__ = ["PrimaryCopy"]
+
+
+class PrimaryCopy(ReplicationProtocol):
+    """Single-primary eager replication."""
+
+    name = "primary-copy"
+    prefix = "PC"
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        primary: Optional[str] = None,
+        write_timeout: float = 2000.0,
+    ) -> None:
+        super().__init__(deployment)
+        self.primary = primary or deployment.hosts[0]
+        if self.primary not in deployment.servers:
+            raise ValueError(f"unknown primary host {self.primary!r}")
+        if write_timeout <= 0:
+            raise ValueError(f"write_timeout must be > 0: {write_timeout}")
+        self.write_timeout = write_timeout
+        self.writes_serialized = 0
+        self.env.process(self._primary_loop(), name="pc-primary")
+
+    # -- primary ----------------------------------------------------------
+
+    def _primary_loop(self):
+        endpoint = self.deployment.platform(self.primary).endpoint
+        server = self.deployment.server(self.primary)
+        network = self.deployment.network
+        while True:
+            msg: Message = yield endpoint.receive(kind="PC_WRITE")
+            if not network.host_up(self.primary):
+                continue
+            if server.config.update_apply_time > 0:
+                yield self.env.timeout(server.config.update_apply_time)
+            p = msg.payload
+            version = server.store.version_of(p["key"]) + 1
+            write = WriteOp(
+                request_id=p["rid"],
+                key=p["key"],
+                value=p["value"],
+                version=version,
+            )
+            self._apply_local(server, write, p["origin"])
+            self.writes_serialized += 1
+            # Eager push to every backup, then acknowledge the origin.
+            for host in self.deployment.hosts:
+                if host != self.primary:
+                    endpoint.send(
+                        host,
+                        "PC_APPLY",
+                        payload={"writes": (write,), "origin": p["origin"]},
+                    )
+            endpoint.send(
+                p["origin"], "PC_DONE", payload={"rid": p["rid"]}
+            )
+
+    def _apply_local(self, server, write: WriteOp, origin: str) -> None:
+        applied = server.store.apply(
+            write.key, write.value, write.version, self.env.now
+        )
+        if applied:
+            server.history.append(
+                CommitRecord(
+                    request_id=write.request_id,
+                    key=write.key,
+                    value=write.value,
+                    version=write.version,
+                    committed_at=self.env.now,
+                    origin=origin,
+                )
+            )
+
+    # -- backups -------------------------------------------------------------
+
+    def _ensure_backup_loop(self, host: str) -> None:
+        if getattr(self, "_backup_loops", None) is None:
+            self._backup_loops = set()
+        if host in self._backup_loops or host == self.primary:
+            return
+        self._backup_loops.add(host)
+        self.env.process(self._backup_loop(host), name=f"pc-backup-{host}")
+
+    def _backup_loop(self, host: str):
+        endpoint = self.deployment.platform(host).endpoint
+        server = self.deployment.server(host)
+        network = self.deployment.network
+        # The network is not FIFO, but primary-copy log shipping must
+        # apply in order: hold out-of-order versions until their
+        # predecessors arrive.
+        reorder: dict = {}  # key -> {version: (write, origin)}
+        while True:
+            msg: Message = yield endpoint.receive(kind="PC_APPLY")
+            if not network.host_up(host):
+                continue
+            if server.config.update_apply_time > 0:
+                yield self.env.timeout(server.config.update_apply_time)
+            for write in msg.payload["writes"]:
+                reorder.setdefault(write.key, {})[write.version] = (
+                    write, msg.payload["origin"],
+                )
+            for key, buffered in reorder.items():
+                next_version = server.store.version_of(key) + 1
+                while next_version in buffered:
+                    write, origin = buffered.pop(next_version)
+                    self._apply_local(server, write, origin)
+                    next_version += 1
+
+    # -- client-facing paths ----------------------------------------------------
+
+    def _start_write(self, record: RequestRecord) -> None:
+        for host in self.deployment.hosts:
+            self._ensure_backup_loop(host)
+        self.env.process(
+            self._write_coordinator(record),
+            name=f"pc-write-{record.request_id}",
+        )
+
+    def _write_coordinator(self, record: RequestRecord):
+        env = self.env
+        endpoint = self.deployment.platform(record.home).endpoint
+        record.dispatched_at = env.now
+        endpoint.send(
+            self.primary,
+            "PC_WRITE",
+            payload={
+                "rid": record.request_id,
+                "key": record.key,
+                "value": record.value,
+                "origin": record.home,
+            },
+        )
+        done = endpoint.receive(
+            kind="PC_DONE",
+            match=lambda m: m.payload["rid"] == record.request_id,
+        )
+        yield done | env.timeout(self.write_timeout)
+        if done.processed:
+            record.completed_at = env.now
+            record.status = "committed"
+        else:
+            if not done.triggered:
+                done.succeed(None)
+            record.completed_at = env.now
+            record.status = "failed"
+
+    def _start_read(self, record: RequestRecord) -> None:
+        def reader():
+            server = self.deployment.server(record.home)
+            if server.config.read_service_time > 0:
+                yield self.env.timeout(server.config.read_service_time)
+            entry = server.read(record.key)
+            record.value = entry.value if entry else None
+            record.extra["version"] = entry.version if entry else 0
+            record.completed_at = self.env.now
+            record.status = "read-done"
+
+        record.dispatched_at = self.env.now
+        self.env.process(reader(), name=f"pc-read-{record.request_id}")

@@ -1,0 +1,40 @@
+"""Weighted Voting (Gifford 1979) — message-passing baseline.
+
+Each replica is assigned one or more votes; a read collects ``r`` votes,
+a write collects ``w`` votes, with ``r + w`` greater than the total so
+every read/write pair intersects (paper §3.1). Skewed vote assignments
+let a deployment bias the quorums toward well-connected replicas — the
+classic knob for trading read latency against write latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines.base import QuorumProtocol
+from repro.replication.deployment import Deployment
+
+__all__ = ["WeightedVoting"]
+
+
+class WeightedVoting(QuorumProtocol):
+    """Gifford's quorum consensus with configurable votes and r/w."""
+
+    name = "weighted-voting"
+    prefix = "WV"
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        votes: Optional[Dict[str, int]] = None,
+        read_quorum: Optional[int] = None,
+        write_quorum: Optional[int] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            deployment,
+            votes=votes,
+            read_quorum=read_quorum,
+            write_quorum=write_quorum,
+            **kwargs,
+        )

@@ -1,0 +1,79 @@
+"""MARP read paths.
+
+The paper ([D5]): "a read operation may be executed on an arbitrary copy"
+— reads hit the local replica and are fast but not guaranteed fresh
+("it is acceptable that queries executed on a replica are not guaranteed
+to give an up-to-date answer"). The quorum read is our extension: query
+all replicas, accept the highest version among a majority of replies —
+this *is* guaranteed to observe every committed update whose COMMIT
+reached a majority.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.replication.requests import RequestRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import MARP
+
+__all__ = ["start_local_read", "start_quorum_read"]
+
+
+def start_local_read(marp: "MARP", record: RequestRecord) -> None:
+    """Serve the read from the home replica's local copy."""
+
+    def reader():
+        server = marp.deployment.server(record.home)
+        if server.config.read_service_time > 0:
+            yield marp.env.timeout(server.config.read_service_time)
+        entry = server.read(record.key)
+        record.value = entry.value if entry is not None else None
+        record.extra["version"] = entry.version if entry is not None else 0
+        record.extra["read_strategy"] = "local"
+        record.completed_at = marp.env.now
+        record.status = "read-done"
+
+    marp.env.process(reader(), name=f"read-{record.request_id}")
+
+
+def start_quorum_read(marp: "MARP", record: RequestRecord) -> None:
+    """Query every replica; return the freshest of a majority of replies."""
+
+    def reader():
+        env = marp.env
+        endpoint = marp.deployment.platform(record.home).endpoint
+        majority = marp.deployment.majority
+        endpoint.broadcast(
+            "READQ",
+            payload={"request_id": record.request_id, "key": record.key},
+            include_self=True,
+        )
+        best_version = 0
+        best_value = None
+        replies = 0
+        deadline = env.timeout(marp.config.ack_timeout)
+        while replies < majority:
+            get_reply = endpoint.receive(
+                "READR",
+                match=lambda m: m.payload["request_id"] == record.request_id,
+            )
+            yield get_reply | deadline
+            if not get_reply.processed:
+                if not get_reply.triggered:
+                    get_reply.succeed(None)
+                break
+            payload = get_reply.value.payload
+            replies += 1
+            if payload["version"] >= best_version:
+                best_version = payload["version"]
+                best_value = payload["value"]
+        record.value = best_value
+        record.extra["version"] = best_version
+        record.extra["read_strategy"] = "quorum"
+        record.extra["replies"] = replies
+        record.completed_at = env.now
+        record.status = "read-done" if replies >= majority else "failed"
+
+    marp.env.process(reader(), name=f"qread-{record.request_id}")

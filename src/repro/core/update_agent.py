@@ -1,0 +1,449 @@
+"""The update mobile agent — the paper's Algorithm 1.
+
+One agent carries one batch of update requests (the Request List; batch
+size 1 reproduces the evaluated setting). Its life, written "from the
+point of view of the navigating mobile agent":
+
+1. Visit the home server, then tour the cheapest unvisited servers
+   (cost-sorted USL). At every server: pay the service time, append to
+   the Locking List, merge the server's fresh lock view and bulletin
+   board into the Locking Table, and leave its own knowledge behind.
+2. After each visit evaluate :func:`~repro.core.priority.decide`:
+   top-ranked at a majority of servers — or designated by the identifier
+   tie-break when no majority can form — means the agent holds the
+   distributed lock. When the tour is exhausted without a result, park
+   at the current server until a lock release (or a timeout) and then
+   refresh ([D2]).
+3. Holding the lock, run the *claim round*: broadcast UPDATE to all
+   replicas, collect > N/2 acknowledgements, assign versions above
+   everything the ACKs and the Locking Table report committed ([D3]),
+   broadcast COMMIT, and dispose.
+
+The claim round is also the safety net for the tie-break path: an ACK is
+an exclusive server-side *grant* (released when the COMMIT is processed),
+so even if two agents were to claim concurrently off stale tables, at
+most one can assemble a majority of grants — mutual exclusion never rests
+on the freshness of the Locking Table. A failed claim releases its grants
+and the agent resumes touring after a randomized back-off.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
+
+from repro.errors import ReplicaUnavailable
+from repro.agents.agent import MobileAgent
+from repro.agents.identity import AgentId
+from repro.agents.itinerary import make_itinerary
+from repro.core.locking_table import LockingTable
+from repro.core.priority import OTHER, STALEMATE, WIN, Decision, decide
+from repro.replication.server import ReplicaServer, UpdatePayload, WriteOp
+from repro.replication.requests import RequestRecord, Transform
+
+
+class _FetchFailed:
+    """Sentinel: the RMW base-value fetch timed out."""
+
+    __slots__ = ()
+
+
+_FETCH_FAILED = _FetchFailed()
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.protocol import MARP
+
+__all__ = ["UpdateAgent"]
+
+
+class UpdateAgent(MobileAgent):
+    """Carries a batch of update requests to a majority consensus."""
+
+    def __init__(
+        self,
+        agent_id: AgentId,
+        marp: "MARP",
+        records: List[RequestRecord],
+    ) -> None:
+        if not records:
+            raise ValueError("an update agent needs at least one request")
+        super().__init__(agent_id)
+        self.marp = marp
+        self.config = marp.config
+        self.records = list(records)
+        self.batch_id = self.records[0].request_id
+        self.table = LockingTable()
+        self.visited: Set[str] = set()
+        self.tour_remaining: Set[str] = set()
+        self.unavailable: Set[str] = set()
+        self.visit_events = 0
+        self.park_count = 0
+        self.claim_epoch = 0
+        self.failed_claims = 0
+        self.itinerary = make_itinerary(self.config.itinerary, home=self.home)
+        self.stream = marp.deployment.streams.stream(f"agent.{agent_id}")
+
+    # -- carried state (sizes migrations) ------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "agent_id": self.agent_id,
+            "requests": [
+                (r.request_id, r.key, r.value) for r in self.records
+            ],
+            "unvisited": sorted(self.tour_remaining),
+            "table": self.table,  # has wire_size()
+        }
+
+    # -- tracing ----------------------------------------------------------------
+
+    def _trace(self, kind: str, host: Optional[str] = None,
+               detail: str = "") -> None:
+        trace = self.marp.deployment.trace
+        if trace is not None:
+            trace.record(
+                self.marp.env.now, kind,
+                host=host if host is not None else self.location,
+                agent=str(self.agent_id), request_id=self.batch_id,
+                detail=detail,
+            )
+
+    # -- Algorithm 1 -----------------------------------------------------------
+
+    def behavior(self):
+        env = self.platform.env
+        now = env.now
+        for record in self.records:
+            record.dispatched_at = now
+            record.agent_id = str(self.agent_id)
+        self._trace("dispatch", detail=f"{len(self.records)} request(s)")
+
+        hosts = self.marp.deployment.hosts
+        self.tour_remaining = set(hosts) - {self.home}
+
+        # The creating server is the first visit (no migration needed).
+        yield from self._visit_current()
+
+        while True:
+            decision = self._decide()
+            if not self._holds_lock(decision):
+                yield from self._advance(decision)
+                continue
+
+            # Lock acquired: record ALT inputs (overwritten if the claim
+            # round fails and the lock has to be re-acquired).
+            self._trace(
+                "lock-won",
+                detail=f"{decision.reason} after {self.visit_events} visits",
+            )
+            now = env.now
+            for record in self.records:
+                record.lock_acquired_at = now
+                record.visits_to_lock = len(self.visited)
+                record.extra["visit_events_to_lock"] = self.visit_events
+                record.extra["win_reason"] = decision.reason
+                record.extra["parks"] = self.park_count
+
+            outcome = yield from self._claim_round(decision)
+            if outcome == "committed":
+                self._finish("committed")
+                return
+
+            self._trace("claim-failed",
+                        detail=f"epoch {self.claim_epoch} ({outcome})")
+            if outcome == "conflict":
+                # Another claimer holds grants: genuine contention counts
+                # toward the abort budget.
+                self.failed_claims += 1
+                if self.failed_claims >= self.config.max_claims:
+                    self._broadcast("ABORT")
+                    self._trace(
+                        "abort",
+                        detail=f"{self.failed_claims} failed claims",
+                    )
+                    self._finish("failed")
+                    return
+                backoff_mean = self.config.claim_backoff
+            else:
+                # Timeout with no NACKs: too few replicas are reachable
+                # to assemble a majority (e.g. mid-outage). Quorum
+                # semantics require stalling, not aborting — wait longer
+                # and retry when the cluster may have healed.
+                backoff_mean = max(
+                    4 * self.config.claim_backoff, self.config.park_timeout
+                )
+            if backoff_mean > 0:
+                yield env.timeout(self.stream.exponential(backoff_mean))
+            yield from self._visit_current()
+
+    def _finish(self, status: str) -> None:
+        now = self.platform.env.now
+        for record in self.records:
+            record.completed_at = now
+            record.total_visits = self.visit_events
+            record.extra["failed_claims"] = self.failed_claims
+            record.status = status
+        self.dispose()
+
+    def _holds_lock(self, decision: Decision) -> bool:
+        """Paper rule: majority of top-ranks, or the identifier tie-break."""
+        if decision.outcome == WIN:
+            return True
+        return (
+            decision.outcome == STALEMATE
+            and decision.winner == self.agent_id
+        )
+
+    # -- movement -------------------------------------------------------------
+
+    def _advance(self, decision: Decision):
+        """One step of the acquisition loop: tour, or park and refresh."""
+        env = self.platform.env
+        candidates = self.tour_remaining - self.unavailable
+        if candidates:
+            dst = self.itinerary.next_host(
+                self.location, candidates, self.marp.deployment.topology,
+                self.stream,
+            )
+            self._trace("migrate", detail=f"-> {dst}")
+            try:
+                yield from self.migrate(dst)
+            except ReplicaUnavailable:
+                # Paper §2: give up on this replica until the next round.
+                self.unavailable.add(dst)
+                self._trace("unavailable", host=dst)
+                return
+            self._trace("arrive")
+            yield from self._visit_current()
+            return
+
+        # Tour exhausted without a result: park at the current server
+        # until a lock release here, or the park timeout ([D2]).
+        self.park_count += 1
+        self._trace("park")
+        server: ReplicaServer = self.platform.service("replica")
+        release = server.wait_release()
+        yield release | env.timeout(self.config.park_timeout)
+        self._trace("wake")
+        yield from self._visit_current()
+
+        refreshed = self._decide()
+        if refreshed.outcome == OTHER or self._holds_lock(refreshed):
+            # Either done, or a known winner is in its update round; its
+            # COMMIT will wake us here. No need to tour.
+            return
+        # Still unclear: start a refresh tour over all other servers;
+        # previously unavailable replicas get another chance in the new
+        # round.
+        self.unavailable.clear()
+        self.tour_remaining = (
+            set(self.marp.deployment.hosts) - {self.location}
+        )
+
+    # -- visiting -----------------------------------------------------------------
+
+    def _visit_current(self):
+        """Interact with the co-located replica server (one 'visit')."""
+        env = self.platform.env
+        server: ReplicaServer = self.platform.service("replica")
+        if server.config.agent_service_time > 0:
+            yield env.timeout(server.config.agent_service_time)
+
+        if (
+            self.agent_id not in server.updated_list
+            and self.agent_id not in server.locking_list
+        ):
+            server.request_lock(self.agent_id, self.batch_id)
+
+        self.table.update(server.lock_view())
+        self.table.merge_bulletin(server.read_bulletin())
+        server.post_bulletin(self.table.shareable_views(server.host))
+
+        self.visited.add(server.host)
+        self.visit_events += 1
+        self.tour_remaining.discard(server.host)
+        self._trace(
+            "visit",
+            detail=(
+                f"rank {server.locking_list.rank(self.agent_id)} of "
+                f"{len(server.locking_list)}"
+            ),
+        )
+
+    def _decide(self) -> Decision:
+        return decide(
+            self.table,
+            self.marp.deployment.n_replicas,
+            self.agent_id,
+            votes=self.marp.votes,
+            unavailable=frozenset(self.unavailable),
+        )
+
+    # -- the claim round (UPDATE / ACK / COMMIT) ------------------------------------
+
+    def _broadcast(self, kind: str, writes=()) -> UpdatePayload:
+        payload = UpdatePayload(
+            batch_id=self.batch_id,
+            agent_id=self.agent_id,
+            origin=self.home,
+            writes=tuple(writes),
+            reply_to=self.location,
+            epoch=self.claim_epoch,
+        )
+        self.platform.endpoint.broadcast(kind, payload, include_self=True)
+        return payload
+
+    def _claim_round(self, decision: Decision):
+        """Broadcast UPDATE, gather a majority of grants, COMMIT.
+
+        Returns ``"committed"`` on success. On failure it broadcasts
+        RELEASE (keeping the agent's lock entries) and returns
+        ``"conflict"`` when another claimer NACKed us, or ``"timeout"``
+        when too few replicas answered at all — the caller treats the
+        two very differently (back off vs. stall for recovery).
+        """
+        env = self.platform.env
+        endpoint = self.platform.endpoint
+        majority = self.marp.vote_majority
+        total_votes = self.marp.total_votes
+        vote_of = self.marp.vote_of
+
+        self.claim_epoch += 1
+        epoch = self.claim_epoch
+        self._trace("claim", detail=f"epoch {epoch}")
+        self._broadcast("UPDATE")
+
+        acked_versions: Dict[str, Dict[str, int]] = {}
+        acked_votes = 0
+        nack_votes = 0
+        deadline = env.timeout(self.config.ack_timeout)
+        while acked_votes < majority:
+            reply = endpoint.receive(
+                match=lambda m: (
+                    m.kind in ("ACK", "NACK")
+                    and m.payload["batch_id"] == self.batch_id
+                    and m.payload["epoch"] == epoch
+                ),
+            )
+            yield reply | deadline
+            if not reply.processed:
+                # Claim timed out; withdraw the pending receive so it
+                # cannot swallow a message meant for a later epoch check.
+                if not reply.triggered:
+                    reply.succeed(None)
+                break
+            msg = reply.value
+            sender = msg.payload["from"]
+            if msg.kind == "ACK":
+                if sender not in acked_versions:
+                    acked_versions[sender] = msg.payload["versions"]
+                    acked_votes += vote_of(sender)
+            else:
+                nack_votes += vote_of(sender)
+                # Early exit when a majority is provably out of reach.
+                if total_votes - nack_votes < majority:
+                    break
+
+        if acked_votes >= majority:
+            base_values = yield from self._resolve_transforms(acked_versions)
+            if base_values is _FETCH_FAILED:
+                self._broadcast("RELEASE")
+                return "timeout"
+            writes = self._assign_versions(
+                decision, acked_versions, base_values
+            )
+            self._broadcast("COMMIT", writes=writes)
+            self._trace(
+                "commit",
+                detail=", ".join(f"{w.key}=v{w.version}" for w in writes),
+            )
+            return "committed"
+
+        self._broadcast("RELEASE")
+        return "conflict" if nack_votes > 0 else "timeout"
+
+    def _resolve_transforms(self, acked_versions):
+        """Fetch the freshest committed value for every RMW key.
+
+        The source replica is the acknowledger reporting the highest
+        version for the key — it holds "the most recent copy" the quorum
+        knows. Returns ``{key: base_value}`` (or :data:`_FETCH_FAILED`
+        when a fetch times out, which fails the claim).
+        """
+        env = self.platform.env
+        endpoint = self.platform.endpoint
+        rmw_keys = {
+            record.key
+            for record in self.records
+            if isinstance(record.value, Transform)
+        }
+        base_values: Dict[str, Any] = {}
+        for key in sorted(rmw_keys):
+            best_host, best_version = None, 0
+            for host, versions in acked_versions.items():
+                if versions.get(key, 0) >= best_version:
+                    best_host, best_version = host, versions.get(key, 0)
+            if best_version == 0:
+                base_values[key] = None  # never written
+                continue
+            fetch_id = (self.batch_id, self.claim_epoch, key)
+            endpoint.send(
+                best_host, "READQ",
+                payload={"request_id": fetch_id, "key": key},
+            )
+            reply = endpoint.receive(
+                kind="READR",
+                match=lambda m: m.payload["request_id"] == fetch_id,
+            )
+            yield reply | env.timeout(self.config.ack_timeout)
+            if not reply.processed:
+                if not reply.triggered:
+                    reply.succeed(None)
+                return _FETCH_FAILED
+            base_values[key] = reply.value.payload["value"]
+        return base_values
+
+    def _assign_versions(
+        self,
+        decision: Decision,
+        acked_versions: Dict[str, Dict[str, int]],
+        base_values: Dict[str, Any],
+    ):
+        """[D3]: next versions above everything known committed.
+
+        The ceiling folds (a) the Locking Table's monotone committed-max
+        and (b) the version vectors reported in this claim's ACKs. Any
+        previous winner's grant at an ACKing server was released by the
+        processing of its COMMIT, so the ACK quorum always reports every
+        previously committed version — the ceiling is collision-free.
+
+        RMW requests chain: within a batch, each Transform sees the
+        value produced by the previous write to the same key.
+        """
+        next_version: Dict[str, int] = {}
+        current_value: Dict[str, Any] = dict(base_values)
+        writes = []
+        for record in self.records:
+            key = record.key
+            if key not in next_version:
+                ceiling = self.table.version_ceiling(
+                    key, decision.quorum_hosts
+                )
+                for versions in acked_versions.values():
+                    ceiling = max(ceiling, versions.get(key, 0))
+                next_version[key] = ceiling + 1
+            if isinstance(record.value, Transform):
+                value = record.value(current_value.get(key))
+                record.value = value  # the record reports the final value
+            else:
+                value = record.value
+            current_value[key] = value
+            writes.append(
+                WriteOp(
+                    request_id=record.request_id,
+                    key=key,
+                    value=value,
+                    version=next_version[key],
+                )
+            )
+            next_version[key] += 1
+        return tuple(writes)

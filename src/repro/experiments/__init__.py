@@ -1,0 +1,69 @@
+"""Experiment harness: one module per paper figure/table + ablations."""
+
+from repro.experiments.ablations import (
+    AblationTable,
+    Theorem3Report,
+    run_batching_ablation,
+    run_bulletin_ablation,
+    run_itinerary_ablation,
+    theorem3_bounds,
+)
+from repro.experiments.availability import AvailabilityTable, run_availability
+from repro.experiments.common import (
+    DEFAULT_INTERARRIVALS,
+    DEFAULT_SERVER_COUNTS,
+    FigureData,
+    latency_sweep,
+)
+from repro.experiments.scalability import ScalabilityTable, run_scalability
+from repro.experiments.throughput import ThroughputTable, run_throughput
+from repro.experiments.fig2_alt import project_fig2, run_fig2
+from repro.experiments.fig3_att import project_fig3, run_fig3
+from repro.experiments.fig4_prk import run_fig4
+from repro.experiments.runner import (
+    RunConfig,
+    RunResult,
+    build_protocol,
+    run_once,
+    run_repeats,
+)
+from repro.experiments.sweeps import SweepPoint, sweep
+from repro.experiments.table_comparison import (
+    ComparisonRow,
+    ComparisonTable,
+    run_comparison,
+)
+
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "run_once",
+    "run_repeats",
+    "build_protocol",
+    "sweep",
+    "SweepPoint",
+    "FigureData",
+    "latency_sweep",
+    "DEFAULT_INTERARRIVALS",
+    "DEFAULT_SERVER_COUNTS",
+    "run_fig2",
+    "project_fig2",
+    "run_fig3",
+    "project_fig3",
+    "run_fig4",
+    "run_comparison",
+    "ComparisonTable",
+    "ComparisonRow",
+    "theorem3_bounds",
+    "Theorem3Report",
+    "run_itinerary_ablation",
+    "run_bulletin_ablation",
+    "run_batching_ablation",
+    "AblationTable",
+    "run_scalability",
+    "ScalabilityTable",
+    "run_availability",
+    "AvailabilityTable",
+    "run_throughput",
+    "ThroughputTable",
+]

@@ -1,0 +1,107 @@
+"""Shared pieces of the figure experiments.
+
+Figures 2 and 3 are two views (ALT vs ATT) of the *same* sweep — mean
+request inter-arrival time × number of replicated servers — so the sweep
+is collected once here and each figure module projects its metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.analysis.tables import format_series
+from repro.experiments.runner import RunConfig
+from repro.experiments.sweeps import SweepPoint, sweep
+
+__all__ = [
+    "DEFAULT_INTERARRIVALS",
+    "DEFAULT_SERVER_COUNTS",
+    "FigureData",
+    "latency_sweep",
+]
+
+#: Default x-axis: mean inter-arrival times (ms), paper Figs 2-4 sweep
+#: roughly this range ("for a higher request generation rate with
+#: inter-arrival time less than 45 milliseconds...").
+DEFAULT_INTERARRIVALS: Tuple[float, ...] = (15, 25, 35, 45, 60, 80, 100)
+
+#: The paper evaluates 3, 4 and 5 replicated servers.
+DEFAULT_SERVER_COUNTS: Tuple[int, ...] = (3, 4, 5)
+
+
+@dataclass
+class FigureData:
+    """A rendered figure: x-axis plus named series."""
+
+    title: str
+    x_label: str
+    x_values: List[float]
+    series: Dict[str, List[float]] = field(default_factory=dict)
+    all_consistent: bool = True
+
+    @property
+    def text(self) -> str:
+        body = format_series(
+            self.x_label, self.x_values, self.series, title=self.title
+        )
+        footer = (
+            "\nconsistency audit: "
+            + ("all runs consistent" if self.all_consistent else "VIOLATIONS")
+        )
+        return body + footer
+
+    @property
+    def chart(self) -> str:
+        """ASCII rendering of the figure (terminal plotting)."""
+        from repro.analysis.charts import ascii_chart
+
+        return ascii_chart(
+            self.x_values, self.series, x_label=self.x_label,
+            title=self.title,
+        )
+
+    def series_values(self, name: str) -> List[float]:
+        return self.series[name]
+
+
+def latency_sweep(
+    server_counts: Sequence[int] = DEFAULT_SERVER_COUNTS,
+    interarrivals: Sequence[float] = DEFAULT_INTERARRIVALS,
+    requests_per_client: int = 20,
+    repeats: int = 2,
+    seed: int = 0,
+    **config_overrides,
+) -> Dict[int, List[SweepPoint]]:
+    """The Fig 2/3 sweep: for each N, sweep the mean inter-arrival time.
+
+    Returns ``{n_servers: [SweepPoint per inter-arrival]}``. Results are
+    memo-free (each call re-runs) — callers cache if needed.
+    """
+    out: Dict[int, List[SweepPoint]] = {}
+    for n in server_counts:
+        base = RunConfig(
+            n_replicas=n,
+            seed=seed,
+            requests_per_client=requests_per_client,
+            **config_overrides,
+        )
+        out[n] = sweep(base, "mean_interarrival", interarrivals, repeats)
+    return out
+
+
+def project_figure(
+    points_by_n: Dict[int, List[SweepPoint]],
+    metric: Callable,
+    title: str,
+) -> FigureData:
+    """Project one scalar metric of a latency sweep into FigureData."""
+    any_n = next(iter(points_by_n))
+    x_values = [p.x for p in points_by_n[any_n]]
+    figure = FigureData(title=title, x_label="mean inter-arrival (ms)",
+                        x_values=list(x_values))
+    for n, points in sorted(points_by_n.items()):
+        figure.series[f"{n} servers"] = [p.mean(metric) for p in points]
+        if not all(p.all_consistent() for p in points):
+            figure.all_consistent = False
+    return figure

@@ -1,0 +1,56 @@
+"""Figure 2: Average time for obtaining the lock by a mobile agent.
+
+Paper §4: "Figures 2 and 3 show the results of ALT and ATT,
+respectively, obtained by using 3–5 replicated servers with different
+request generation rates. ... as the mean arrival time increases both
+the ALT and ATT decrease."
+
+Expected shape: ALT is highest at small mean inter-arrival times
+(contention forces full tours and queue waits), decreases monotonically
+toward the uncontended floor (≈ ⌈(N+1)/2⌉ visits × per-visit cost), and
+grows with the number of servers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_INTERARRIVALS,
+    DEFAULT_SERVER_COUNTS,
+    FigureData,
+    latency_sweep,
+    project_figure,
+)
+from repro.experiments.sweeps import SweepPoint
+
+__all__ = ["run_fig2", "project_fig2"]
+
+
+def project_fig2(points_by_n: Dict[int, List[SweepPoint]]) -> FigureData:
+    """Fig 2 view of a latency sweep: ALT (ms) per server count."""
+    return project_figure(
+        points_by_n,
+        metric=lambda r: r.alt,
+        title="Figure 2: average time for obtaining the lock (ALT, ms)",
+    )
+
+
+def run_fig2(
+    server_counts: Sequence[int] = DEFAULT_SERVER_COUNTS,
+    interarrivals: Sequence[float] = DEFAULT_INTERARRIVALS,
+    requests_per_client: int = 20,
+    repeats: int = 2,
+    seed: int = 0,
+    points_by_n: Optional[Dict[int, List[SweepPoint]]] = None,
+) -> FigureData:
+    """Regenerate Figure 2 (optionally from a pre-collected sweep)."""
+    if points_by_n is None:
+        points_by_n = latency_sweep(
+            server_counts=server_counts,
+            interarrivals=interarrivals,
+            requests_per_client=requests_per_client,
+            repeats=repeats,
+            seed=seed,
+        )
+    return project_fig2(points_by_n)

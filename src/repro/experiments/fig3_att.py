@@ -1,0 +1,55 @@
+"""Figure 3: Average time for completing a request.
+
+Paper §4: ATT "includes the message passing delay for sending the UPDATE
+and COMMIT messages. ... By comparing the figures, we can see that the
+message passing latency is the predominant factor determining the
+latency of operations on the replicated data. As the number of servers
+increase, this trend is more obvious."
+
+Expected shape: ATT ≥ ALT everywhere (it adds the UPDATE/ACK/COMMIT
+round), decreasing with mean inter-arrival, increasing with N.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import (
+    DEFAULT_INTERARRIVALS,
+    DEFAULT_SERVER_COUNTS,
+    FigureData,
+    latency_sweep,
+    project_figure,
+)
+from repro.experiments.sweeps import SweepPoint
+
+__all__ = ["run_fig3", "project_fig3"]
+
+
+def project_fig3(points_by_n: Dict[int, List[SweepPoint]]) -> FigureData:
+    """Fig 3 view of a latency sweep: ATT (ms) per server count."""
+    return project_figure(
+        points_by_n,
+        metric=lambda r: r.att,
+        title="Figure 3: average time for completing a request (ATT, ms)",
+    )
+
+
+def run_fig3(
+    server_counts: Sequence[int] = DEFAULT_SERVER_COUNTS,
+    interarrivals: Sequence[float] = DEFAULT_INTERARRIVALS,
+    requests_per_client: int = 20,
+    repeats: int = 2,
+    seed: int = 0,
+    points_by_n: Optional[Dict[int, List[SweepPoint]]] = None,
+) -> FigureData:
+    """Regenerate Figure 3 (optionally from a pre-collected sweep)."""
+    if points_by_n is None:
+        points_by_n = latency_sweep(
+            server_counts=server_counts,
+            interarrivals=interarrivals,
+            requests_per_client=requests_per_client,
+            repeats=repeats,
+            seed=seed,
+        )
+    return project_fig3(points_by_n)

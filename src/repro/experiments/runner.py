@@ -1,0 +1,196 @@
+"""Experiment runner: one config in, one measured run out.
+
+Every figure/table module and every benchmark goes through
+:func:`run_once`, which builds a deployment, instantiates the requested
+protocol, attaches the paper's per-server open-loop clients, runs to
+quiescence (bounded by a horizon), audits consistency and computes the
+paper's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.analysis.consistency import AuditReport, audit
+from repro.analysis.metrics import alt, att, prk, throughput
+from repro.baselines import PROTOCOLS
+from repro.core.config import MARPConfig
+from repro.core.protocol import MARP
+from repro.net.faults import FaultPlan
+from repro.net.latency import lan_profile, wan_profile
+from repro.net.topology import Topology
+from repro.replication.client import attach_clients
+from repro.replication.deployment import Deployment
+from repro.replication.requests import RequestRecord
+from repro.replication.server import ReplicaConfig
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import ExponentialArrivals
+from repro.workload.mix import OperationMix
+
+__all__ = ["RunConfig", "RunResult", "run_once", "run_repeats", "build_protocol"]
+
+
+@dataclass
+class RunConfig:
+    """Declarative description of one simulation run.
+
+    Defaults reproduce the paper's setup: 5 replicas, full mesh LAN,
+    exponential per-server arrivals, update-only workload.
+    """
+
+    protocol: str = "marp"
+    n_replicas: int = 5
+    seed: int = 0
+    mean_interarrival: float = 50.0
+    requests_per_client: int = 20
+    write_fraction: float = 1.0
+    keys: Tuple[str, ...] = ("x",)
+    latency: str = "lan"  # "lan" | "wan"
+    topology: str = "mesh"  # "mesh" | "random-costs"
+    horizon: float = 5_000_000.0
+    faults: Optional[FaultPlan] = None
+    # MARP-specific knobs (ignored by baselines)
+    itinerary: str = "cost-sorted"
+    batch_size: int = 1
+    read_strategy: str = "local"
+    # substrate knobs
+    agent_service_time: float = 2.0
+    update_apply_time: float = 0.5
+    enable_bulletin: bool = True
+    protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def with_(self, **changes) -> "RunConfig":
+        """A modified copy (convenience for sweeps)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class RunResult:
+    """Everything measured in one run."""
+
+    config: RunConfig
+    protocol_name: str
+    records: List[RequestRecord]
+    committed: int
+    failed: int
+    open: int
+    alt: float
+    att: float
+    prk: Dict[int, float]
+    throughput: float
+    control_messages: int
+    control_bytes: int
+    agent_migrations: int
+    agent_bytes: int
+    dropped: int
+    audit: AuditReport
+    sim_time: float
+    deployment: Optional[Deployment] = None
+
+    def audit_excluding(self, exclude) -> AuditReport:
+        """Re-audit without the named hosts (e.g. permanently crashed)."""
+        if self.deployment is None:
+            raise ExperimentError("deployment not retained for this result")
+        return audit(self.deployment, exclude=exclude)
+
+    @property
+    def total_messages(self) -> int:
+        return self.control_messages + self.agent_migrations
+
+    @property
+    def total_bytes(self) -> int:
+        return self.control_bytes + self.agent_bytes
+
+
+def _build_deployment(config: RunConfig) -> Deployment:
+    latency = {"lan": lan_profile, "wan": wan_profile}.get(config.latency)
+    if latency is None:
+        raise ExperimentError(f"unknown latency profile {config.latency!r}")
+    replica_config = ReplicaConfig(
+        agent_service_time=config.agent_service_time,
+        update_apply_time=config.update_apply_time,
+        enable_bulletin=config.enable_bulletin,
+    )
+    topology = None
+    if config.topology == "random-costs":
+        streams = RandomStreams(config.seed)
+        hosts = [f"s{i}" for i in range(1, config.n_replicas + 1)]
+        topology = Topology.random_costs(hosts, streams.stream("topology"))
+    elif config.topology != "mesh":
+        raise ExperimentError(f"unknown topology {config.topology!r}")
+    return Deployment(
+        n_replicas=config.n_replicas,
+        seed=config.seed,
+        latency=latency(),
+        topology=topology,
+        faults=config.faults,
+        replica_config=replica_config,
+    )
+
+
+def build_protocol(deployment: Deployment, config: RunConfig):
+    """Instantiate the configured protocol over a deployment."""
+    if config.protocol == "marp":
+        marp_config = MARPConfig(
+            itinerary=config.itinerary,
+            batch_size=config.batch_size,
+            read_strategy=config.read_strategy,
+        )
+        return MARP(deployment, config=marp_config)
+    cls = PROTOCOLS.get(config.protocol)
+    if cls is None:
+        raise ExperimentError(
+            f"unknown protocol {config.protocol!r}; expected 'marp' or one "
+            f"of {sorted(PROTOCOLS)}"
+        )
+    return cls(deployment, **config.protocol_kwargs)
+
+
+def run_once(config: RunConfig) -> RunResult:
+    """Build, run and measure one simulation."""
+    deployment = _build_deployment(config)
+    protocol = build_protocol(deployment, config)
+    attach_clients(
+        protocol,
+        ExponentialArrivals(config.mean_interarrival),
+        OperationMix(
+            write_fraction=config.write_fraction, keys=list(config.keys)
+        ),
+        max_requests_per_client=config.requests_per_client,
+    )
+    deployment.run(until=config.horizon)
+
+    records = protocol.records
+    stats = deployment.network.stats
+    return RunResult(
+        config=config,
+        protocol_name=protocol.name,
+        records=records,
+        committed=sum(1 for r in records if r.status == "committed"),
+        failed=sum(1 for r in records if r.status == "failed"),
+        open=protocol.open_requests(),
+        alt=alt(records),
+        att=att(records),
+        prk=prk(records, config.n_replicas),
+        throughput=throughput(records),
+        control_messages=stats.total_messages("control"),
+        control_bytes=stats.total_bytes("control"),
+        agent_migrations=stats.total_messages("agent"),
+        agent_bytes=stats.total_bytes("agent"),
+        dropped=stats.total_dropped(),
+        audit=audit(deployment),
+        sim_time=deployment.env.now,
+        deployment=deployment,
+    )
+
+
+def run_repeats(config: RunConfig, repeats: int = 3) -> List[RunResult]:
+    """Run the same config under ``repeats`` different seeds."""
+    if repeats < 1:
+        raise ExperimentError(f"repeats must be >= 1: {repeats}")
+    return [
+        run_once(config.with_(seed=config.seed + offset))
+        for offset in range(repeats)
+    ]

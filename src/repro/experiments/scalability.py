@@ -1,0 +1,85 @@
+"""S1: scalability in the number of replicas (paper §5, qualitative).
+
+The paper's first conclusion bullet: the protocol "is fully distributed
+and scalable". We sweep the replica count at a fixed per-server request
+rate and report how latency and per-commit traffic grow, for MARP and
+the message-passing comparators. Expected shape: every quorum protocol's
+cost grows with N (majorities get bigger); MARP's per-commit message
+count grows linearly (one tour + one claim round) without the retry
+blow-up the voting protocols show under contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.experiments.runner import RunConfig, run_repeats
+
+__all__ = ["ScalabilityTable", "run_scalability"]
+
+
+@dataclass
+class ScalabilityTable:
+    """Latency / traffic versus replica count, per protocol."""
+
+    title: str
+    headers: List[str] = field(default_factory=lambda: [
+        "protocol", "N", "committed", "ATT(ms)", "msgs/commit",
+        "KB/commit", "consistent",
+    ])
+    rows: List[List] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def series(self, protocol: str, column: str) -> Dict[int, float]:
+        index = self.headers.index(column)
+        return {
+            row[1]: row[index] for row in self.rows if row[0] == protocol
+        }
+
+
+def run_scalability(
+    protocols: Sequence[str] = ("marp", "mcv"),
+    replica_counts: Sequence[int] = (3, 5, 7, 9),
+    mean_interarrival: float = 60.0,
+    requests_per_client: int = 10,
+    repeats: int = 2,
+    seed: int = 0,
+) -> ScalabilityTable:
+    """Sweep the cluster size at a fixed per-server request rate."""
+    table = ScalabilityTable(
+        title=(
+            f"S1: scaling the replica count "
+            f"({mean_interarrival:g}ms gaps per server)"
+        ),
+    )
+    for protocol in protocols:
+        for n in replica_counts:
+            config = RunConfig(
+                protocol=protocol,
+                n_replicas=n,
+                mean_interarrival=mean_interarrival,
+                requests_per_client=requests_per_client,
+                seed=seed,
+            )
+            results = run_repeats(config, repeats)
+            committed = summarize(
+                [float(r.committed) for r in results]
+            ).mean
+            msgs = summarize([float(r.total_messages) for r in results]).mean
+            byts = summarize([float(r.total_bytes) for r in results]).mean
+            table.rows.append([
+                protocol,
+                n,
+                committed,
+                summarize([r.att for r in results]).mean,
+                msgs / committed if committed else float("nan"),
+                (byts / 1024.0) / committed if committed else float("nan"),
+                all(r.audit.consistent for r in results),
+            ])
+    return table

@@ -1,0 +1,53 @@
+"""Parameter sweep helper shared by the figure modules."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import summarize
+from repro.experiments.runner import RunConfig, RunResult, run_repeats
+
+__all__ = ["SweepPoint", "sweep"]
+
+
+class SweepPoint:
+    """Aggregated results at one sweep x-value."""
+
+    def __init__(self, x: Any, results: List[RunResult]) -> None:
+        self.x = x
+        self.results = results
+
+    def metric(self, getter: Callable[[RunResult], float]):
+        """Summary over repeats of a scalar metric."""
+        return summarize([getter(r) for r in self.results])
+
+    def mean(self, getter: Callable[[RunResult], float]) -> float:
+        return self.metric(getter).mean
+
+    def prk_mean(self, k: int) -> float:
+        """Mean PRK fraction at K across repeats."""
+        values = [r.prk.get(k, 0.0) for r in self.results]
+        return float(np.mean(values)) if values else float("nan")
+
+    def all_consistent(self) -> bool:
+        return all(r.audit.consistent for r in self.results)
+
+    def __repr__(self) -> str:
+        return f"<SweepPoint x={self.x} repeats={len(self.results)}>"
+
+
+def sweep(
+    base: RunConfig,
+    param: str,
+    values: Sequence[Any],
+    repeats: int = 3,
+    overrides: Optional[Dict[str, Any]] = None,
+) -> List[SweepPoint]:
+    """Run ``base`` once per value of ``param`` (each with repeats)."""
+    points: List[SweepPoint] = []
+    for value in values:
+        config = base.with_(**{param: value, **(overrides or {})})
+        points.append(SweepPoint(value, run_repeats(config, repeats)))
+    return points

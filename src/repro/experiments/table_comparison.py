@@ -1,0 +1,154 @@
+"""T1/T2: MARP versus the message-passing protocols.
+
+The paper does not measure the comparison (its §1/§5 claims are
+qualitative): MARP "avoids heavy message transmission required by
+conventional replication control protocols for achieving the quorum",
+and message-passing protocols "may not scale to the world-wide Internet
+environment". These experiments quantify both claims over the shared
+substrate:
+
+* **T1 (contention/message cost)** — same update workload under every
+  protocol on a LAN; report ATT, control messages, bytes, agent
+  migrations. Expected: under contention MCV/WV burn multiple voting
+  rounds per commit (messages explode, ATT inflates) while MARP's
+  queue-based locking stays at one claim round.
+* **T2 (WAN scaling)** — same comparison over the heavy-tailed WAN
+  profile. Expected: every protocol slows by the latency ratio, but
+  retry-round protocols degrade the most; primary-copy is the floor but
+  is not fully distributed (and is the availability worst case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.experiments.runner import RunConfig, run_repeats
+
+__all__ = ["ComparisonRow", "ComparisonTable", "run_comparison"]
+
+#: Protocols compared by default (available-copies is reported but its
+#: consistency column is expected to show its known weakness under load).
+DEFAULT_PROTOCOLS = ("marp", "mcv", "weighted-voting", "primary-copy")
+
+
+@dataclass
+class ComparisonRow:
+    """One protocol's aggregate behaviour at one configuration."""
+
+    protocol: str
+    latency: str
+    mean_interarrival: float
+    committed: float
+    failed: float
+    att: float
+    control_messages: float
+    control_bytes: float
+    agent_migrations: float
+    agent_bytes: float
+    msgs_per_commit: float
+    consistent: bool
+
+
+@dataclass
+class ComparisonTable:
+    """The rendered T1/T2 table."""
+
+    title: str
+    rows: List[ComparisonRow] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        headers = [
+            "protocol", "net", "gap(ms)", "committed", "failed", "ATT(ms)",
+            "ctl msgs", "ctl KB", "hops", "agent KB", "msgs/commit",
+            "consistent",
+        ]
+        body = [
+            [
+                r.protocol, r.latency, r.mean_interarrival, r.committed,
+                r.failed, r.att, r.control_messages,
+                r.control_bytes / 1024.0, r.agent_migrations,
+                r.agent_bytes / 1024.0, r.msgs_per_commit, r.consistent,
+            ]
+            for r in self.rows
+        ]
+        return format_table(headers, body, title=self.title)
+
+    def row_for(self, protocol: str, latency: str = None) -> ComparisonRow:
+        for row in self.rows:
+            if row.protocol == protocol and (
+                latency is None or row.latency == latency
+            ):
+                return row
+        raise KeyError(f"no row for {protocol!r}/{latency!r}")
+
+
+def run_comparison(
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    latencies: Sequence[str] = ("lan",),
+    mean_interarrival: float = 30.0,
+    n_replicas: int = 5,
+    requests_per_client: int = 20,
+    repeats: int = 2,
+    seed: int = 0,
+    title: str = "T1: protocol comparison",
+    **config_overrides,
+) -> ComparisonTable:
+    """Run every protocol on the identical workload and tabulate."""
+    table = ComparisonTable(title=title)
+    for latency in latencies:
+        for protocol in protocols:
+            # Fairness: the voting baselines need WAN-scaled timeouts
+            # (a LAN-tuned 500 ms lock round would time out against a
+            # 40 ms-median heavy-tailed path and overstate MARP's win).
+            protocol_kwargs = dict(config_overrides.get("protocol_kwargs", {}))
+            if latency == "wan" and protocol in (
+                "mcv", "weighted-voting", "available-copies",
+            ):
+                protocol_kwargs.setdefault("lock_timeout", 3_000.0)
+                protocol_kwargs.setdefault("retry_backoff", 200.0)
+            if latency == "wan" and protocol == "primary-copy":
+                protocol_kwargs.setdefault("write_timeout", 10_000.0)
+            overrides = {
+                k: v for k, v in config_overrides.items()
+                if k != "protocol_kwargs"
+            }
+            config = RunConfig(
+                protocol=protocol,
+                latency=latency,
+                n_replicas=n_replicas,
+                mean_interarrival=mean_interarrival,
+                requests_per_client=requests_per_client,
+                seed=seed,
+                protocol_kwargs=protocol_kwargs,
+                **overrides,
+            )
+            results = run_repeats(config, repeats)
+
+            def agg(getter) -> float:
+                return summarize([float(getter(r)) for r in results]).mean
+
+            committed = agg(lambda r: r.committed)
+            msgs = agg(lambda r: r.total_messages)
+            table.rows.append(
+                ComparisonRow(
+                    protocol=protocol,
+                    latency=latency,
+                    mean_interarrival=mean_interarrival,
+                    committed=committed,
+                    failed=agg(lambda r: r.failed),
+                    att=agg(lambda r: r.att),
+                    control_messages=agg(lambda r: r.control_messages),
+                    control_bytes=agg(lambda r: r.control_bytes),
+                    agent_migrations=agg(lambda r: r.agent_migrations),
+                    agent_bytes=agg(lambda r: r.agent_bytes),
+                    msgs_per_commit=(
+                        msgs / committed if committed else float("nan")
+                    ),
+                    consistent=all(r.audit.consistent for r in results),
+                )
+            )
+    return table

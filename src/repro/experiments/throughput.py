@@ -1,0 +1,75 @@
+"""X1: throughput and saturation (extension experiment).
+
+The paper reports latencies only; this experiment characterises the
+update *throughput* of the single-object lock as the offered load grows:
+achieved commits/second versus offered requests/second, plus the latency
+blow-up past the saturation knee. A single serialised lock has a hard
+service ceiling of roughly ``1 / handoff_time``; offered load beyond it
+queues. This quantifies when MARP's one-lock-per-object design needs the
+batching knob (A3) or object partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.analysis.stats import summarize
+from repro.analysis.tables import format_table
+from repro.experiments.runner import RunConfig, run_repeats
+
+__all__ = ["ThroughputTable", "run_throughput"]
+
+
+@dataclass
+class ThroughputTable:
+    """Offered versus achieved update rate."""
+
+    title: str
+    headers: List[str] = field(default_factory=lambda: [
+        "gap(ms)", "offered/s", "achieved/s", "utilisation", "ALT(ms)",
+        "consistent",
+    ])
+    rows: List[List] = field(default_factory=list)
+
+    @property
+    def text(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def achieved(self) -> List[float]:
+        return [row[2] for row in self.rows]
+
+    def offered(self) -> List[float]:
+        return [row[1] for row in self.rows]
+
+
+def run_throughput(
+    interarrivals: Sequence[float] = (10.0, 20.0, 40.0, 80.0, 160.0),
+    n_replicas: int = 5,
+    requests_per_client: int = 20,
+    repeats: int = 2,
+    seed: int = 0,
+) -> ThroughputTable:
+    """Sweep the offered load and measure achieved commit throughput."""
+    table = ThroughputTable(
+        title=f"X1: update throughput, {n_replicas} replicas (LAN)",
+    )
+    for gap in interarrivals:
+        config = RunConfig(
+            n_replicas=n_replicas,
+            mean_interarrival=gap,
+            requests_per_client=requests_per_client,
+            seed=seed,
+        )
+        results = run_repeats(config, repeats)
+        offered = 1000.0 * n_replicas / gap  # requests/s cluster-wide
+        achieved = summarize([r.throughput for r in results]).mean
+        table.rows.append([
+            gap,
+            offered,
+            achieved,
+            achieved / offered if offered else float("nan"),
+            summarize([r.alt for r in results]).mean,
+            all(r.audit.consistent for r in results),
+        ])
+    return table

@@ -1,0 +1,103 @@
+"""Message representation and payload size accounting.
+
+All traffic in the simulated network — control messages *and* migrating
+agents — is carried as :class:`Message` objects. Sizes are estimated
+structurally (not by pickling) so accounting is cheap and deterministic;
+protocols that know better can pass ``size_bytes`` explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Message", "estimate_size", "HEADER_BYTES"]
+
+#: Fixed per-message header overhead (addresses, kind, ids) in bytes.
+HEADER_BYTES = 64
+
+_msg_counter = itertools.count(1)
+
+
+def estimate_size(payload: Any) -> int:
+    """Rough, deterministic wire-size estimate of a payload in bytes.
+
+    The estimate follows simple structural rules (8 bytes per number,
+    UTF-8 length for strings, recursive sum plus container overhead).
+    Objects exposing ``wire_size()`` report their own size — agents use
+    this to account for their carried state.
+    """
+    if payload is None:
+        return 0
+    wire_size = getattr(payload, "wire_size", None)
+    if callable(wire_size):
+        return int(wire_size())
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, (int, float)):
+        return 8
+    if isinstance(payload, str):
+        return len(payload.encode("utf-8"))
+    if isinstance(payload, bytes):
+        return len(payload)
+    if isinstance(payload, dict):
+        return 16 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in payload.items()
+        )
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return 16 + sum(estimate_size(item) for item in payload)
+    # Dataclass-like objects: account their public attribute dict.
+    attrs = getattr(payload, "__dict__", None)
+    if attrs is not None:
+        return 16 + sum(
+            estimate_size(v) for k, v in attrs.items() if not k.startswith("_")
+        )
+    slots = getattr(payload, "__slots__", None)
+    if slots is not None:
+        return 16 + sum(
+            estimate_size(getattr(payload, name, None))
+            for name in slots
+            if not name.startswith("_")
+        )
+    return 32  # opaque object fallback
+
+
+@dataclass
+class Message:
+    """A single network transmission.
+
+    Attributes
+    ----------
+    src, dst:
+        Host names.
+    kind:
+        Protocol-level message type (e.g. ``"UPDATE"``, ``"ACK"``,
+        ``"AGENT"``).
+    payload:
+        Arbitrary protocol data.
+    size_bytes:
+        Wire size including header; estimated from the payload when not
+        given.
+    category:
+        Accounting bucket (``"control"``, ``"agent"``, ``"data"``).
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    size_bytes: int = 0
+    category: str = "control"
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            self.size_bytes = HEADER_BYTES + estimate_size(self.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message #{self.msg_id} {self.kind} {self.src}->{self.dst} "
+            f"{self.size_bytes}B>"
+        )

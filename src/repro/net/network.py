@@ -1,0 +1,297 @@
+"""The asynchronous message-passing network.
+
+Semantics follow the paper's system model (§2): logical channels are
+asynchronous with unpredictable but finite delays; processes are
+fail-stop. Concretely:
+
+* :meth:`Network.send` is non-blocking; delivery happens after a delay
+  drawn from the latency model, optionally scaled by the topology cost of
+  the (src, dst) pair.
+* Messages to a crashed host are silently dropped (fail-stop: the host
+  neither receives nor responds; senders use timeouts).
+* Transient link faults drop individual transmissions; reliable unicast
+  for control traffic is approximated by the protocols' own
+  timeout-and-retry logic, and agent *migrations* surface failures to the
+  platform's retry policy (paper §2).
+
+Every host gets an :class:`Endpoint` with a filterable inbox; processes
+receive with ``yield endpoint.receive(kind="ACK")``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import MigrationError, NetworkError
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel, lan_profile
+from repro.net.message import Message
+from repro.net.stats import NetworkStats
+from repro.net.topology import Topology
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+from repro.sim.stores import FilterStore
+
+__all__ = ["Network", "Endpoint"]
+
+
+class Endpoint:
+    """A host's attachment point: inbox plus convenience senders."""
+
+    def __init__(self, network: "Network", host: str) -> None:
+        self.network = network
+        self.host = host
+        self.inbox: FilterStore = FilterStore(network.env)
+
+    def receive(
+        self,
+        kind: Optional[str] = None,
+        match: Optional[Callable[[Message], bool]] = None,
+    ):
+        """Event that fires with the next matching message.
+
+        Without arguments, receives the oldest queued message of any kind.
+        """
+        if kind is None and match is None:
+            return self.inbox.get()
+
+        def _filter(msg: Message) -> bool:
+            if kind is not None and msg.kind != kind:
+                return False
+            if match is not None and not match(msg):
+                return False
+            return True
+
+        return self.inbox.get(_filter)
+
+    def send(
+        self,
+        dst: str,
+        kind: str,
+        payload: Any = None,
+        category: str = "control",
+        size_bytes: int = 0,
+    ) -> Message:
+        """Fire-and-forget unicast."""
+        msg = Message(
+            src=self.host,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            category=category,
+            size_bytes=size_bytes,
+        )
+        self.network.send(msg)
+        return msg
+
+    def multicast(
+        self,
+        dsts: Iterable[str],
+        kind: str,
+        payload: Any = None,
+        category: str = "control",
+    ) -> List[Message]:
+        """One unicast per destination (excluding self unless listed)."""
+        return [self.send(dst, kind, payload, category) for dst in dsts]
+
+    def broadcast(
+        self, kind: str, payload: Any = None, category: str = "control",
+        include_self: bool = False,
+    ) -> List[Message]:
+        """Unicast to every registered host (optionally including self)."""
+        dsts = [
+            host
+            for host in self.network.endpoints
+            if include_self or host != self.host
+        ]
+        return self.multicast(dsts, kind, payload, category)
+
+    @property
+    def pending(self) -> int:
+        """Number of queued, unreceived messages."""
+        return len(self.inbox.items)
+
+    def __repr__(self) -> str:
+        return f"<Endpoint {self.host!r} pending={self.pending}>"
+
+
+class Network:
+    """Simulated wide-area network binding topology, latency and faults.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (clock in milliseconds).
+    topology:
+        Host graph with link costs.
+    latency:
+        Latency model for all traffic; default :func:`lan_profile`.
+    faults:
+        Crash windows and link faults; default none.
+    streams:
+        Random streams (for latency jitter and fault draws).
+    scale_by_cost:
+        When true (default), sampled delays are multiplied by the
+        topology's (src, dst) cost, making "distant" hosts slower.
+    fifo_links:
+        When true, messages on the same (src, dst) link are delivered in
+        send order (TCP-like ordered channels): a message whose sampled
+        delay would let it overtake an earlier one is held back to the
+        earlier one's arrival instant. Default false — the paper's model
+        only promises reliability, not ordering, and the protocols must
+        (and do) tolerate reordering.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        latency: Optional[LatencyModel] = None,
+        faults: Optional[FaultPlan] = None,
+        streams: Optional[RandomStreams] = None,
+        scale_by_cost: bool = True,
+        fifo_links: bool = False,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        self.latency = latency if latency is not None else lan_profile()
+        self.faults = faults or FaultPlan.none()
+        self.streams = streams or RandomStreams(0)
+        self.scale_by_cost = scale_by_cost
+        self.fifo_links = fifo_links
+        self.stats = NetworkStats()
+        self.endpoints: Dict[str, Endpoint] = {}
+        self._latency_stream = self.streams.stream("net.latency")
+        self._fault_stream = self.streams.stream("net.faults")
+        # per-(src, dst) arrival horizon used by fifo_links
+        self._link_horizon: Dict[tuple, float] = {}
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, host: str) -> Endpoint:
+        """Attach a host; returns its endpoint."""
+        if host not in self.topology:
+            raise NetworkError(f"host {host!r} is not in the topology")
+        if host in self.endpoints:
+            raise NetworkError(f"host {host!r} is already registered")
+        endpoint = Endpoint(self, host)
+        self.endpoints[host] = endpoint
+        return endpoint
+
+    def host_up(self, host: str) -> bool:
+        """Is the host currently alive (per the fault plan)?"""
+        return self.faults.host_up(host, self.env.now)
+
+    # -- delays --------------------------------------------------------------
+
+    def sample_delay(self, src: str, dst: str, size_bytes: int) -> float:
+        """One latency draw for a (src, dst, size) transmission."""
+        delay = self.latency.sample(src, dst, size_bytes, self._latency_stream)
+        if self.scale_by_cost and src != dst:
+            delay *= self.topology.cost(src, dst)
+        return delay
+
+    # -- messaging -------------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Asynchronously transmit ``msg``; never blocks the sender."""
+        msg.sent_at = self.env.now
+        self.stats.record_send(msg.category, msg.kind, msg.size_bytes)
+
+        if msg.dst not in self.endpoints:
+            raise NetworkError(f"unknown destination host {msg.dst!r}")
+        if not self.host_up(msg.src):
+            # A crashed host cannot send; account and drop.
+            self.stats.record_drop(msg.category, msg.kind)
+            return
+        if msg.src != msg.dst and self.faults.transmission_fails(
+            msg.src, msg.dst, self.env.now, self._fault_stream
+        ):
+            self.stats.record_drop(msg.category, msg.kind)
+            return
+
+        delay = 0.0 if msg.src == msg.dst else self.sample_delay(
+            msg.src, msg.dst, msg.size_bytes
+        )
+        if self.fifo_links and msg.src != msg.dst:
+            link = (msg.src, msg.dst)
+            arrival = max(
+                self.env.now + delay, self._link_horizon.get(link, 0.0)
+            )
+            self._link_horizon[link] = arrival
+            delay = arrival - self.env.now
+        self.env.process(self._deliver(msg, delay), name=f"deliver-{msg.kind}")
+
+    def _deliver(self, msg: Message, delay: float):
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if not self.host_up(msg.dst):
+            # Fail-stop destination: the message vanishes.
+            self.stats.record_drop(msg.category, msg.kind)
+            return
+        # Re-fetch: the destination cannot have unregistered, but keep the
+        # lookup close to delivery for symmetry with live backends.
+        endpoint = self.endpoints[msg.dst]
+        endpoint.inbox.put(msg)
+
+    # -- agent migration ------------------------------------------------------
+
+    def attempt_transfer(
+        self,
+        src: str,
+        dst: str,
+        size_bytes: int,
+        timeout: float,
+        kind: str = "AGENT",
+    ):
+        """Sub-generator performing one migration attempt.
+
+        Use from a process as ``yield from network.attempt_transfer(...)``.
+        On success it simply returns after the sampled transfer delay; on
+        failure (link fault at departure, or destination down at arrival)
+        it waits out ``timeout`` — the paper's failure-detection delay —
+        and raises :class:`MigrationError`.
+        """
+        self.stats.record_send("agent", kind, size_bytes)
+        failed_at_send = (
+            not self.host_up(src)
+            or (
+                src != dst
+                and self.faults.transmission_fails(
+                    src, dst, self.env.now, self._fault_stream
+                )
+            )
+        )
+        if failed_at_send:
+            self.stats.record_drop("agent", kind)
+            yield self.env.timeout(timeout)
+            raise MigrationError(
+                f"migration {src}->{dst} lost in transit", destination=dst
+            )
+
+        delay = 0.0 if src == dst else self.sample_delay(src, dst, size_bytes)
+        if delay > timeout:
+            # The receiver would see the agent too late; the sender's
+            # detector fires first.
+            yield self.env.timeout(timeout)
+            raise MigrationError(
+                f"migration {src}->{dst} timed out after {timeout}ms",
+                destination=dst,
+            )
+        if delay > 0:
+            yield self.env.timeout(delay)
+        if not self.host_up(dst):
+            self.stats.record_drop("agent", kind)
+            remaining = max(0.0, timeout - delay)
+            if remaining > 0:
+                yield self.env.timeout(remaining)
+            raise MigrationError(
+                f"destination {dst} is down", destination=dst
+            )
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Network hosts={len(self.endpoints)} latency={self.latency!r} "
+            f"now={self.env.now}>"
+        )

@@ -1,0 +1,84 @@
+"""Traffic accounting.
+
+Counts messages and bytes by category and kind; the comparison
+experiments (T1/T2 in DESIGN.md) are built on these counters, which is
+how we quantify the paper's claim that MARP "avoids heavy message
+transmission".
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+__all__ = ["NetworkStats"]
+
+
+class NetworkStats:
+    """Message/byte counters, by (category, kind)."""
+
+    def __init__(self) -> None:
+        self.messages: Counter = Counter()
+        self.bytes: Counter = Counter()
+        self.dropped: Counter = Counter()
+
+    # -- recording --------------------------------------------------------
+
+    def record_send(self, category: str, kind: str, size_bytes: int) -> None:
+        key = (category, kind)
+        self.messages[key] += 1
+        self.bytes[key] += size_bytes
+
+    def record_drop(self, category: str, kind: str) -> None:
+        self.dropped[(category, kind)] += 1
+
+    # -- queries -----------------------------------------------------------
+
+    def total_messages(self, category: str = None) -> int:
+        if category is None:
+            return sum(self.messages.values())
+        return sum(
+            count for (cat, _), count in self.messages.items() if cat == category
+        )
+
+    def total_bytes(self, category: str = None) -> int:
+        if category is None:
+            return sum(self.bytes.values())
+        return sum(
+            count for (cat, _), count in self.bytes.items() if cat == category
+        )
+
+    def total_dropped(self) -> int:
+        return sum(self.dropped.values())
+
+    def by_kind(self) -> Dict[str, Tuple[int, int]]:
+        """``kind -> (messages, bytes)`` aggregated over categories."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for (cat, kind), count in self.messages.items():
+            m, b = out.get(kind, (0, 0))
+            out[kind] = (m + count, b + self.bytes[(cat, kind)])
+        return out
+
+    def merge(self, other: "NetworkStats") -> "NetworkStats":
+        self.messages.update(other.messages)
+        self.bytes.update(other.bytes)
+        self.dropped.update(other.dropped)
+        return self
+
+    def rows(self) -> List[Tuple[str, str, int, int]]:
+        """Sorted ``(category, kind, messages, bytes)`` rows for reports."""
+        return sorted(
+            (cat, kind, count, self.bytes[(cat, kind)])
+            for (cat, kind), count in self.messages.items()
+        )
+
+    def clear(self) -> None:
+        self.messages.clear()
+        self.bytes.clear()
+        self.dropped.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<NetworkStats msgs={self.total_messages()} "
+            f"bytes={self.total_bytes()} dropped={self.total_dropped()}>"
+        )

@@ -1,0 +1,166 @@
+"""Network topology: hosts, link costs, and routing tables.
+
+The paper assumes "each server has a routing table containing the cost of
+transferring a mobile agent from the local server to another server";
+visiting agents sort their Un-visited Server List by this cost. A
+:class:`Topology` provides exactly that: a weighted graph over host names
+with all-pairs shortest-path costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import networkx as nx
+
+from repro.errors import HostUnreachable, NetworkError
+from repro.sim.rng import Stream
+
+__all__ = ["Topology"]
+
+
+class Topology:
+    """Weighted host graph with cached routing tables.
+
+    Parameters
+    ----------
+    graph:
+        An undirected :class:`networkx.Graph` whose nodes are host names
+        and whose edges carry a positive ``cost`` attribute.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        if graph.number_of_nodes() == 0:
+            raise NetworkError("topology must contain at least one host")
+        for u, v, data in graph.edges(data=True):
+            cost = data.get("cost", 1.0)
+            if cost <= 0:
+                raise NetworkError(f"link cost must be > 0: {u}-{v} ({cost})")
+            data["cost"] = float(cost)
+        self.graph = graph
+        self._routes: Optional[Dict[str, Dict[str, float]]] = None
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def full_mesh(
+        cls,
+        hosts: Sequence[str],
+        cost: float = 1.0,
+        jitter: float = 0.0,
+        stream: Optional[Stream] = None,
+    ) -> "Topology":
+        """Complete graph; optional uniform cost jitter in ``±jitter``.
+
+        This is the paper's implicit topology: every replicated server can
+        reach every other directly.
+        """
+        if jitter and stream is None:
+            raise NetworkError("cost jitter requires a random stream")
+        g = nx.Graph()
+        g.add_nodes_from(hosts)
+        hosts = list(hosts)
+        for i, u in enumerate(hosts):
+            for v in hosts[i + 1 :]:
+                c = cost
+                if jitter:
+                    c = max(1e-9, cost + stream.uniform(-jitter, jitter))
+                g.add_edge(u, v, cost=c)
+        return cls(g)
+
+    @classmethod
+    def star(cls, center: str, leaves: Sequence[str], cost: float = 1.0) -> "Topology":
+        g = nx.Graph()
+        g.add_node(center)
+        for leaf in leaves:
+            g.add_edge(center, leaf, cost=cost)
+        return cls(g)
+
+    @classmethod
+    def ring(cls, hosts: Sequence[str], cost: float = 1.0) -> "Topology":
+        if len(hosts) < 3:
+            raise NetworkError("a ring needs at least 3 hosts")
+        g = nx.Graph()
+        hosts = list(hosts)
+        for i, u in enumerate(hosts):
+            g.add_edge(u, hosts[(i + 1) % len(hosts)], cost=cost)
+        return cls(g)
+
+    @classmethod
+    def random_costs(
+        cls,
+        hosts: Sequence[str],
+        stream: Stream,
+        low: float = 0.5,
+        high: float = 2.0,
+    ) -> "Topology":
+        """Full mesh with uniformly random link costs in ``[low, high]``.
+
+        Models geographically scattered Internet replicas where some pairs
+        are much "closer" than others — the setting in which cost-sorted
+        itineraries matter.
+        """
+        g = nx.Graph()
+        g.add_nodes_from(hosts)
+        hosts = list(hosts)
+        for i, u in enumerate(hosts):
+            for v in hosts[i + 1 :]:
+                g.add_edge(u, v, cost=stream.uniform(low, high))
+        return cls(g)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[str]:
+        return list(self.graph.nodes())
+
+    def __contains__(self, host: str) -> bool:
+        return host in self.graph
+
+    def _ensure_routes(self) -> Dict[str, Dict[str, float]]:
+        if self._routes is None:
+            self._routes = {
+                src: dict(lengths)
+                for src, lengths in nx.all_pairs_dijkstra_path_length(
+                    self.graph, weight="cost"
+                )
+            }
+        return self._routes
+
+    def cost(self, src: str, dst: str) -> float:
+        """Shortest-path cost between two hosts.
+
+        Raises :class:`HostUnreachable` if no path exists.
+        """
+        routes = self._ensure_routes()
+        try:
+            return routes[src][dst]
+        except KeyError:
+            raise HostUnreachable(f"no route from {src!r} to {dst!r}") from None
+
+    def routing_table(self, src: str) -> Dict[str, float]:
+        """Cost from ``src`` to every reachable host (the paper's table)."""
+        routes = self._ensure_routes()
+        if src not in routes:
+            raise HostUnreachable(f"unknown host {src!r}")
+        return dict(routes[src])
+
+    def neighbors_by_cost(
+        self, src: str, candidates: Iterable[str]
+    ) -> List[str]:
+        """``candidates`` sorted by ascending cost from ``src``.
+
+        Ties are broken by host name so the ordering is deterministic.
+        """
+        table = self.routing_table(src)
+        return sorted(candidates, key=lambda h: (table.get(h, float("inf")), h))
+
+    def invalidate_routes(self) -> None:
+        """Drop the route cache after mutating the graph."""
+        self._routes = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Topology hosts={self.graph.number_of_nodes()} "
+            f"links={self.graph.number_of_edges()}>"
+        )

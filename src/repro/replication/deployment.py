@@ -1,0 +1,222 @@
+"""Deployment wiring: one call builds a complete replicated system.
+
+A :class:`Deployment` owns the environment, random streams, topology,
+network, one agent platform + replica server per host, and the post-crash
+recovery processes. Protocols (MARP and the message-passing baselines)
+are constructed *on top of* a deployment, so every protocol runs over the
+identical substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ReplicationError
+from repro.agents.directory import PlatformDirectory
+from repro.agents.mobility import MigrationCostModel
+from repro.agents.platform import AgentPlatform, MobilityPolicy
+from repro.net.faults import FaultPlan
+from repro.net.latency import LatencyModel, lan_profile
+from repro.net.network import Network
+from repro.net.topology import Topology
+from repro.replication.server import ReplicaConfig, ReplicaServer
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+
+__all__ = ["Deployment"]
+
+
+class Deployment:
+    """A cluster of N mobile-agent-enabled replica servers.
+
+    Parameters
+    ----------
+    n_replicas:
+        Number of replicated servers (the paper evaluates 3–5).
+    seed:
+        Master seed for all random streams.
+    latency:
+        Network latency model (default: calibrated LAN profile).
+    topology:
+        Host graph; default full mesh of unit cost over hosts
+        ``s1..sN``.
+    faults:
+        Crash windows / link faults (default: none).
+    replica_config, mobility_policy, cost_model:
+        Substrate tunables, shared by all hosts.
+    """
+
+    def __init__(
+        self,
+        n_replicas: int = 5,
+        seed: int = 0,
+        latency: Optional[LatencyModel] = None,
+        topology: Optional[Topology] = None,
+        faults: Optional[FaultPlan] = None,
+        replica_config: Optional[ReplicaConfig] = None,
+        mobility_policy: Optional[MobilityPolicy] = None,
+        cost_model: Optional[MigrationCostModel] = None,
+        host_prefix: str = "s",
+    ) -> None:
+        if topology is None:
+            if n_replicas < 1:
+                raise ReplicationError(f"need at least 1 replica: {n_replicas}")
+            hosts = [f"{host_prefix}{i}" for i in range(1, n_replicas + 1)]
+            topology = Topology.full_mesh(hosts)
+        self.hosts: List[str] = sorted(topology.hosts)
+        self.n_replicas = len(self.hosts)
+
+        self.env = Environment()
+        self.streams = RandomStreams(seed)
+        self.topology = topology
+        self.faults = faults or FaultPlan.none()
+        self.network = Network(
+            self.env,
+            topology,
+            latency=latency if latency is not None else lan_profile(),
+            faults=self.faults,
+            streams=self.streams,
+        )
+        self.directory = PlatformDirectory()
+        self.replica_config = replica_config or ReplicaConfig()
+        policy = mobility_policy or MobilityPolicy()
+        costs = cost_model or MigrationCostModel()
+
+        self.platforms: Dict[str, AgentPlatform] = {}
+        self.servers: Dict[str, ReplicaServer] = {}
+        for host in self.hosts:
+            platform = AgentPlatform(
+                self.env, self.network, host, self.directory,
+                policy=policy, cost_model=costs,
+            )
+            server = ReplicaServer(
+                self.env, host, platform.endpoint, self.network,
+                peers=self.hosts, config=self.replica_config,
+            )
+            platform.provide("replica", server)
+            self.platforms[host] = platform
+            self.servers[host] = server
+
+        #: optional structured protocol trace (see enable_tracing)
+        self.trace = None
+
+        if self.replica_config.recover_on_restart:
+            self._start_recovery_processes()
+
+    # ------------------------------------------------------------------
+
+    def enable_tracing(self, capacity: Optional[int] = None):
+        """Turn on structured protocol tracing; returns the trace.
+
+        The MARP agents and every replica server start recording
+        :class:`~repro.analysis.tracelog.TraceEvent`s. ``capacity``
+        bounds memory for long runs (events beyond it are counted as
+        dropped).
+        """
+        from repro.analysis.tracelog import ProtocolTrace
+
+        if self.trace is None:
+            self.trace = ProtocolTrace(capacity=capacity)
+            for server in self.servers.values():
+                server.trace = self.trace
+        return self.trace
+
+    def enable_anti_entropy(self, mean_interval: float = 5_000.0) -> None:
+        """Start background store reconciliation (paper §2: replicas
+        "perform operations such as failure recovery ... and background
+        information transfer").
+
+        Each server periodically (exponential intervals) pulls a store
+        snapshot from a random peer. This is what heals the data gaps
+        left by *dropped* COMMITs — message loss during link outages or
+        partitions — which the crash-recovery sync cannot see.
+        """
+        if mean_interval <= 0:
+            raise ReplicationError(
+                f"anti-entropy interval must be > 0: {mean_interval}"
+            )
+        if getattr(self, "_anti_entropy_running", False):
+            return
+        self._anti_entropy_running = True
+        for host in self.hosts:
+            self.env.process(
+                self._anti_entropy_loop(host, mean_interval),
+                name=f"anti-entropy-{host}",
+            )
+
+    def _anti_entropy_loop(self, host: str, mean_interval: float):
+        stream = self.streams.stream(f"anti-entropy.{host}")
+        peers = [h for h in self.hosts if h != host]
+        if not peers:
+            return
+        while True:
+            yield self.env.timeout(stream.exponential(mean_interval))
+            if not self.network.host_up(host):
+                continue
+            self.servers[host].request_sync(stream.choice(peers))
+
+    def enable_queue_monitoring(self) -> Dict[str, "object"]:
+        """Track each server's Locking-List length over time.
+
+        Returns ``{host: StateMonitor}``; the monitors' time-weighted
+        averages quantify lock queueing (the dominant ALT component at
+        high contention).
+        """
+        from repro.sim.monitor import StateMonitor
+
+        monitors = {}
+        for host, server in self.servers.items():
+            if server.queue_monitor is None:
+                server.queue_monitor = StateMonitor(
+                    name=f"ll-{host}", initial=len(server.locking_list),
+                    time=self.env.now,
+                )
+            monitors[host] = server.queue_monitor
+        return monitors
+
+    def platform(self, host: str) -> AgentPlatform:
+        try:
+            return self.platforms[host]
+        except KeyError:
+            raise ReplicationError(f"unknown host {host!r}") from None
+
+    def server(self, host: str) -> ReplicaServer:
+        try:
+            return self.servers[host]
+        except KeyError:
+            raise ReplicationError(f"unknown host {host!r}") from None
+
+    @property
+    def majority(self) -> int:
+        """Smallest integer strictly greater than N/2."""
+        return self.n_replicas // 2 + 1
+
+    def alive_hosts(self) -> List[str]:
+        return [h for h in self.hosts if self.network.host_up(h)]
+
+    # ------------------------------------------------------------------
+
+    def _start_recovery_processes(self) -> None:
+        """After each crash window, resync the store from a live peer."""
+        for host in self.faults.crashes.hosts_with_faults():
+            if host in self.servers:
+                self.env.process(
+                    self._recovery_loop(host), name=f"recovery-{host}"
+                )
+
+    def _recovery_loop(self, host: str):
+        grace = 1.0  # let the clock pass the exact boundary instant
+        for _down_at, up_at in self.faults.crashes.windows(host):
+            wait = up_at + grace - self.env.now
+            if wait > 0:
+                yield self.env.timeout(wait)
+            peers = [h for h in self.alive_hosts() if h != host]
+            if peers:
+                self.servers[host].request_sync(peers[0])
+
+    def run(self, until=None):
+        """Convenience passthrough to the environment's run loop."""
+        return self.env.run(until=until)
+
+    def __repr__(self) -> str:
+        return f"<Deployment n={self.n_replicas} hosts={self.hosts}>"

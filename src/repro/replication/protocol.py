@@ -1,0 +1,102 @@
+"""Abstract replication-protocol interface.
+
+MARP and every message-passing baseline implement this interface over a
+shared :class:`~repro.replication.deployment.Deployment`, so workloads,
+metrics and consistency audits are protocol-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import ReplicationError
+from repro.replication.deployment import Deployment
+from repro.replication.requests import READ, WRITE, RequestRecord, new_request_id
+
+__all__ = ["ReplicationProtocol"]
+
+
+class ReplicationProtocol:
+    """Base class for replication control protocols.
+
+    Subclasses implement :meth:`_start_write` and :meth:`_start_read`,
+    which must *asynchronously* process the request (spawning simulation
+    processes) and fill in the record's timeline fields, finally setting
+    ``record.status``.
+    """
+
+    name = "abstract"
+
+    def __init__(self, deployment: Deployment) -> None:
+        self.deployment = deployment
+        self.env = deployment.env
+        self.records: List[RequestRecord] = []
+
+    # -- submission API (used by clients and examples) ----------------------
+
+    def submit(
+        self, home: str, op: str, key: str, value: Any = None
+    ) -> RequestRecord:
+        """Entry point for one client request (non-blocking)."""
+        if home not in self.deployment.servers:
+            raise ReplicationError(f"unknown home server {home!r}")
+        if op == WRITE:
+            return self.submit_write(home, key, value)
+        if op == READ:
+            return self.submit_read(home, key)
+        raise ReplicationError(f"unknown operation {op!r}")
+
+    def submit_write(self, home: str, key: str, value: Any) -> RequestRecord:
+        record = RequestRecord(
+            request_id=new_request_id(),
+            home=home,
+            op=WRITE,
+            key=key,
+            value=value,
+            created_at=self.env.now,
+        )
+        self.records.append(record)
+        self._start_write(record)
+        return record
+
+    def submit_read(self, home: str, key: str) -> RequestRecord:
+        record = RequestRecord(
+            request_id=new_request_id(),
+            home=home,
+            op=READ,
+            key=key,
+            created_at=self.env.now,
+        )
+        self.records.append(record)
+        self._start_read(record)
+        return record
+
+    # -- protocol hooks ---------------------------------------------------------
+
+    def _start_write(self, record: RequestRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _start_read(self, record: RequestRecord) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- bookkeeping --------------------------------------------------------------
+
+    def open_requests(self) -> int:
+        """Requests submitted but not yet terminal."""
+        return sum(1 for r in self.records if r.status == "pending")
+
+    def completed_writes(self) -> List[RequestRecord]:
+        return [r for r in self.records if r.op == WRITE and r.status == "committed"]
+
+    def failed_requests(self) -> List[RequestRecord]:
+        return [r for r in self.records if r.status == "failed"]
+
+    def run(self, until: Optional[float] = None):
+        """Run the underlying simulation."""
+        return self.deployment.run(until=until)
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} requests={len(self.records)} "
+            f"open={self.open_requests()}>"
+        )

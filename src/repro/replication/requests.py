@@ -1,0 +1,123 @@
+"""Client request types and the per-request lifecycle record.
+
+A :class:`RequestRecord` accumulates the timeline of one client request as
+it flows through a protocol; the evaluation metrics (ALT, ATT, PRK — see
+:mod:`repro.analysis.metrics`) are pure functions over lists of completed
+records, so every protocol produces directly comparable output.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["READ", "WRITE", "RequestRecord", "Transform", "new_request_id"]
+
+#: Operation tags.
+READ = "read"
+WRITE = "write"
+
+_request_counter = itertools.count(1)
+
+
+class Transform:
+    """A read-modify-write update: ``new_value = fn(current_value)``.
+
+    Submit via :meth:`MARP.submit_rmw`. The winning agent fetches the
+    freshest committed copy from its acknowledgement quorum ("uses the
+    most recent copy", paper §3.1) before applying ``fn``, so the
+    transformation always sees the latest committed state.
+    """
+
+    __slots__ = ("fn", "description")
+
+    def __init__(self, fn, description: str = "") -> None:
+        if not callable(fn):
+            raise TypeError(f"Transform needs a callable, got {fn!r}")
+        self.fn = fn
+        self.description = description or getattr(fn, "__name__", "fn")
+
+    def __call__(self, current):
+        return self.fn(current)
+
+    def wire_size(self) -> int:
+        # A shipped transformation is code; charge a small fixed cost.
+        return 128
+
+    def __repr__(self) -> str:
+        return f"Transform({self.description})"
+
+
+def new_request_id() -> int:
+    """Globally unique (per-process) request identifier."""
+    return next(_request_counter)
+
+
+@dataclass
+class RequestRecord:
+    """Timeline and outcome of one client request.
+
+    Times are simulation milliseconds; ``None`` means "not reached".
+
+    Attributes
+    ----------
+    lock_acquired_at:
+        When the carrying agent won the distributed lock (MARP) or the
+        quorum was assembled (message-passing protocols) — the end point
+        of the paper's ALT metric.
+    completed_at:
+        When the request was fully processed (COMMIT acknowledged / value
+        returned) — the end point of ATT.
+    visits_to_lock:
+        Number of server *visits* the agent needed to learn it had won
+        (the paper's PRK metric; ``None`` for non-agent protocols).
+    """
+
+    request_id: int
+    home: str
+    op: str
+    key: str
+    value: Any = None
+    created_at: float = 0.0
+    dispatched_at: Optional[float] = None
+    lock_acquired_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    visits_to_lock: Optional[int] = None
+    total_visits: Optional[int] = None
+    agent_id: Optional[str] = None
+    status: str = "pending"  # pending | committed | failed | read-done
+    extra: dict = field(default_factory=dict)
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def lock_time(self) -> Optional[float]:
+        """ALT contribution: dispatch -> lock acquisition."""
+        if self.lock_acquired_at is None or self.dispatched_at is None:
+            return None
+        return self.lock_acquired_at - self.dispatched_at
+
+    @property
+    def total_time(self) -> Optional[float]:
+        """ATT contribution: dispatch -> completion."""
+        if self.completed_at is None or self.dispatched_at is None:
+            return None
+        return self.completed_at - self.dispatched_at
+
+    @property
+    def response_time(self) -> Optional[float]:
+        """Client-perceived latency: creation -> completion."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.created_at
+
+    @property
+    def is_write(self) -> bool:
+        return self.op == WRITE
+
+    def __repr__(self) -> str:
+        return (
+            f"<RequestRecord #{self.request_id} {self.op} {self.key!r} "
+            f"home={self.home} status={self.status}>"
+        )

@@ -1,0 +1,206 @@
+"""Live cluster orchestration.
+
+Spins up one :class:`~repro.runtime.host.HostRuntime` per replica as a
+real thread (default) or OS process, submits client writes, collects
+completion records from the results queue, and performs a live
+consistency audit at shutdown.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ReplicationError
+from repro.runtime.host import HostRuntime, LiveConfig, now_ms
+from repro.runtime.transport import LiveMessage, LiveTransport
+
+__all__ = ["LiveCluster", "LiveAudit"]
+
+
+@dataclass
+class LiveAudit:
+    """Consistency audit over the final dumps of all live hosts."""
+
+    final_state_equal: bool
+    divergence_free: bool
+    total_commits: int
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return self.final_state_equal and self.divergence_free
+
+
+class LiveCluster:
+    """A cluster of live replica hosts (threads or processes)."""
+
+    def __init__(
+        self,
+        n_replicas: int = 3,
+        backend: str = "thread",
+        config: Optional[LiveConfig] = None,
+        latency_range: Tuple[float, float] = (1.0, 4.0),
+        seed: int = 0,
+    ) -> None:
+        if n_replicas < 1:
+            raise ReplicationError(f"need at least 1 replica: {n_replicas}")
+        self.hosts = [f"h{i}" for i in range(1, n_replicas + 1)]
+        self.backend = backend
+        self.config = config or LiveConfig()
+        self.transport = LiveTransport(
+            self.hosts, backend=backend, latency_range=latency_range,
+            seed=seed,
+        )
+        self.runtimes = {
+            host: HostRuntime(host, self.hosts, self.transport, self.config)
+            for host in self.hosts
+        }
+        self._workers: List[Any] = []
+        self._request_seq = 0
+        self._started = False
+        self._finals: Dict[str, dict] = {}
+        self.records: Dict[int, dict] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "LiveCluster":
+        if self._started:
+            return self
+        self._started = True
+        for host, runtime in self.runtimes.items():
+            if self.backend == "thread":
+                worker = threading.Thread(
+                    target=runtime.run, name=f"live-{host}", daemon=True
+                )
+            else:
+                ctx = multiprocessing.get_context("fork")
+                worker = ctx.Process(
+                    target=runtime.run, name=f"live-{host}", daemon=True
+                )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    def __enter__(self) -> "LiveCluster":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.shutdown()
+
+    # -- client API --------------------------------------------------------------
+
+    def submit_write(self, home: str, key: str, value: Any) -> int:
+        """Submit one update; returns the request id."""
+        if home not in self.runtimes:
+            raise ReplicationError(f"unknown home host {home!r}")
+        if not self._started:
+            raise ReplicationError("cluster not started")
+        self._request_seq += 1
+        request_id = self._request_seq
+        self.transport.send(
+            LiveMessage(
+                kind="WRITE",
+                src="client",
+                dst=home,
+                payload={
+                    "request_id": request_id,
+                    "key": key,
+                    "value": value,
+                    "created_at": now_ms(),
+                },
+            )
+        )
+        return request_id
+
+    def wait_for(self, n_records: int, timeout: float = 30.0) -> List[dict]:
+        """Block until ``n_records`` completions arrive (wall seconds)."""
+        deadline = time.monotonic() + timeout
+        while len(self.records) < n_records:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"only {len(self.records)}/{n_records} records after "
+                    f"{timeout}s"
+                )
+            try:
+                item = self.transport.results.get(timeout=min(remaining, 0.25))
+            except queue.Empty:
+                continue
+            if item.get("type") == "record":
+                self.records[item["request_id"]] = item
+            elif item.get("type") == "final":
+                self._finals[item["host"]] = item
+        return [self.records[k] for k in sorted(self.records)]
+
+    # -- shutdown & audit -----------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> Dict[str, dict]:
+        """Stop all hosts and collect their final dumps."""
+        if not self._started:
+            return {}
+        for host in self.hosts:
+            self.transport.send(
+                LiveMessage(kind="STOP", src="client", dst=host)
+            )
+        deadline = time.monotonic() + timeout
+        while len(self._finals) < len(self.hosts):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self.transport.results.get(timeout=min(remaining, 0.25))
+            except queue.Empty:
+                continue
+            if item.get("type") == "final":
+                self._finals[item["host"]] = item
+            elif item.get("type") == "record":
+                self.records[item["request_id"]] = item
+        for worker in self._workers:
+            worker.join(timeout=2.0)
+        return dict(self._finals)
+
+    def audit(self) -> LiveAudit:
+        """Compare final stores and histories across hosts."""
+        finals = self._finals
+        problems: List[str] = []
+        stores = {
+            host: tuple(sorted(final["store"].items()))
+            for host, final in finals.items()
+        }
+        final_state_equal = len(set(stores.values())) <= 1
+        if not final_state_equal:
+            problems.append(f"final stores differ: {stores}")
+
+        seen: Dict[Tuple[str, int], Tuple[int, str]] = {}
+        divergence_free = True
+        commits = set()
+        for host, final in finals.items():
+            for request_id, key, version in final["history"]:
+                commits.add((key, version))
+                slot = (key, version)
+                claim = (request_id, host)
+                prior = seen.get(slot)
+                if prior is None:
+                    seen[slot] = claim
+                elif prior[0] != request_id:
+                    divergence_free = False
+                    problems.append(
+                        f"divergent commit at {slot}: {prior} vs {claim}"
+                    )
+        return LiveAudit(
+            final_state_equal=final_state_equal,
+            divergence_free=divergence_free,
+            total_commits=len(commits),
+            problems=problems,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<LiveCluster backend={self.backend} hosts={self.hosts} "
+            f"records={len(self.records)}>"
+        )

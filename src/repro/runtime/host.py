@@ -1,0 +1,490 @@
+"""Live host runtime: one replica server as a real thread/process.
+
+Each :class:`HostRuntime` owns its replica state (store, Locking List,
+Updated List, grant) and drives visiting agents through the *same*
+decision logic as the DES backend — the Locking Table and
+:func:`repro.core.priority.decide` are reused verbatim; only the
+execution substrate differs (real clocks, real queues, pickled
+migration). This is the Aglets-prototype-shaped half of the
+reproduction.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.agents.identity import AgentId
+from repro.core.priority import STALEMATE, WIN, decide
+from repro.replication.server import SharedView
+from repro.runtime.shipping import LiveAgentState, ship, unship
+from repro.runtime.transport import LiveMessage, LiveTransport
+
+__all__ = ["HostRuntime", "LiveConfig", "now_ms"]
+
+
+def now_ms() -> float:
+    """Wall clock in milliseconds (monotonic)."""
+    return time.monotonic() * 1000.0
+
+
+@dataclass
+class LiveConfig:
+    """Tunables of the live runtime (all times in real ms)."""
+
+    park_timeout: float = 60.0
+    ack_timeout: float = 500.0
+    grant_ttl: float = 5_000.0
+    max_claims: int = 10
+    claim_backoff: float = 15.0
+    tick: float = 10.0
+    enable_bulletin: bool = True
+
+
+@dataclass
+class _Claim:
+    state: LiveAgentState
+    epoch: int
+    deadline: float
+    acks: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    nacks: Set[str] = field(default_factory=set)
+
+
+class HostRuntime:
+    """The event loop of one live replica host."""
+
+    def __init__(
+        self,
+        host: str,
+        peers: List[str],
+        transport: LiveTransport,
+        config: Optional[LiveConfig] = None,
+    ) -> None:
+        self.host = host
+        self.peers = sorted(peers)
+        self.n = len(self.peers)
+        self.majority = self.n // 2 + 1
+        self.transport = transport
+        self.config = config or LiveConfig()
+
+        # Replica state (single-owner: only this runtime touches it).
+        self.store: Dict[str, Tuple[object, int]] = {}
+        self.history: List[Tuple[int, str, int]] = []
+        self.locking_list: List[Tuple[AgentId, int]] = []
+        self.updated: Set[AgentId] = set()
+        self.bulletin: Dict[str, SharedView] = {}
+        self.grant_holder: Optional[AgentId] = None
+        self.grant_epoch: int = 0
+        self.grant_expires: float = float("-inf")
+
+        self.parked: Dict[AgentId, Tuple[LiveAgentState, float]] = {}
+        self.claims: Dict[int, _Claim] = {}
+        self._agent_seq = 0
+        self._rng = random.Random(hash(host) & 0xFFFFFFFF)
+        self._stopping = False
+        self._last_activity = float("-inf")
+        #: quiet ms after STOP before the final dump, so in-flight
+        #: COMMITs (still sitting in delivery timers) are not lost.
+        self.stop_grace = 150.0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> None:
+        """The host's main loop; exits after STOP once claims drain."""
+        self.transport.reseed((hash(self.host) ^ 0xA5A5) & 0xFFFFFFFF)
+        mailbox = self.transport.mailbox(self.host)
+        while True:
+            try:
+                msg = mailbox.get(timeout=self.config.tick / 1000.0)
+            except queue.Empty:
+                msg = None
+            now = now_ms()
+            if msg is not None:
+                self._last_activity = now
+                self._dispatch(msg, now)
+            self._check_timers(now)
+            if (
+                self._stopping
+                and not self.claims
+                and now - self._last_activity > self.stop_grace
+            ):
+                self._emit_final()
+                return
+
+    def _send(self, dst: str, kind: str, payload, size: int = 0) -> None:
+        self.transport.send(
+            LiveMessage(
+                kind=kind, src=self.host, dst=dst, payload=payload,
+                size_bytes=size,
+            )
+        )
+
+    def _broadcast(self, kind: str, payload) -> None:
+        for peer in self.peers:
+            self._send(peer, kind, payload)
+
+    # -- dispatch --------------------------------------------------------
+
+    def _dispatch(self, msg: LiveMessage, now: float) -> None:
+        kind = msg.kind
+        if kind == "WRITE":
+            self._on_write(msg, now)
+        elif kind == "AGENT":
+            state = unship(msg.payload)
+            state.hops += 1
+            self._drive(state, now)
+        elif kind == "UPDATE":
+            self._on_update(msg, now)
+        elif kind == "ACK":
+            self._on_ack(msg, now)
+        elif kind == "NACK":
+            self._on_nack(msg, now)
+        elif kind == "COMMIT":
+            self._on_commit(msg, now)
+        elif kind in ("RELEASE", "ABORT"):
+            self._on_release(msg, abort=(kind == "ABORT"))
+        elif kind == "STOP":
+            self._stopping = True
+
+    # -- client writes ------------------------------------------------------
+
+    def _on_write(self, msg: LiveMessage, now: float) -> None:
+        p = msg.payload
+        self._agent_seq += 1
+        state = LiveAgentState(
+            agent_id=AgentId(self.host, now, self._agent_seq),
+            home=self.host,
+            batch_id=p["request_id"],
+            requests=[(p["request_id"], p["key"], p["value"], p["created_at"])],
+            dispatched_at=now,
+            tour_remaining=[h for h in self.peers if h != self.host],
+        )
+        self._drive(state, now)
+
+    # -- agent driving (Algorithm 1, state-machine form) ---------------------
+
+    def _visit(self, state: LiveAgentState, now: float) -> None:
+        agent_id = state.agent_id
+        if agent_id not in self.updated and all(
+            entry != agent_id for entry, _b in self.locking_list
+        ):
+            self.locking_list.append((agent_id, state.batch_id))
+        view = SharedView(
+            host=self.host,
+            as_of=now,
+            view=tuple(entry for entry, _b in self.locking_list),
+            updated=frozenset(self.updated),
+            versions={k: v for k, (_val, v) in self.store.items()},
+        )
+        state.table.update(view)
+        if self.config.enable_bulletin:
+            state.table.merge_bulletin(dict(self.bulletin))
+            for host, shared in state.table.shareable_views(self.host).items():
+                if shared.is_newer_than(self.bulletin.get(host)):
+                    self.bulletin[host] = shared
+        state.visited.add(self.host)
+        state.visit_events += 1
+        if self.host in state.tour_remaining:
+            state.tour_remaining.remove(self.host)
+
+    def _holds_lock(self, state: LiveAgentState) -> bool:
+        decision = decide(
+            state.table, self.n, state.agent_id,
+            unavailable=frozenset(state.unavailable),
+        )
+        if decision.outcome == WIN:
+            return True
+        return (
+            decision.outcome == STALEMATE
+            and decision.winner == state.agent_id
+        )
+
+    def _drive(self, state: LiveAgentState, now: float) -> None:
+        """Visit here, then claim, migrate onward, or park."""
+        self._visit(state, now)
+        if self._holds_lock(state):
+            self._start_claim(state, now)
+        elif not self._tour_onward(state):
+            self._park(state, now)
+
+    def _wake(self, state: LiveAgentState, now: float) -> None:
+        """A parked agent re-evaluates after a release or timeout."""
+        self._visit(state, now)
+        if self._holds_lock(state):
+            self._start_claim(state, now)
+            return
+        # Restart the refresh tour over the other hosts ([D2]); replicas
+        # declared unavailable get another chance in the new round.
+        state.unavailable.clear()
+        state.tour_remaining = [h for h in self.peers if h != self.host]
+        if not self._tour_onward(state):
+            self._park(state, now)
+
+    def _tour_onward(self, state: LiveAgentState) -> bool:
+        """Ship the agent to the next reachable unvisited host.
+
+        Unreachable destinations (blocked links — the live equivalent of
+        the paper's failed-migration detection) are declared unavailable
+        for this round. Returns False when no destination remains, in
+        which case the agent may hold the lock now that unavailability
+        is known, and otherwise should park.
+        """
+        while state.tour_remaining:
+            dst = state.tour_remaining[0]
+            blob = ship(state)
+            if self._send_agent(dst, blob):
+                return True
+            state.tour_remaining.remove(dst)
+            state.unavailable.add(dst)
+        if self._holds_lock(state):
+            self._start_claim(state, now_ms())
+            return True
+        return False
+
+    def _send_agent(self, dst: str, blob: bytes) -> bool:
+        delay = self.transport.send(
+            LiveMessage(
+                kind="AGENT", src=self.host, dst=dst, payload=blob,
+                size_bytes=len(blob),
+            )
+        )
+        return delay >= 0
+
+    def _park(self, state: LiveAgentState, now: float) -> None:
+        self.parked[state.agent_id] = (
+            state, now + self.config.park_timeout
+        )
+
+    # -- claim round ----------------------------------------------------------
+
+    def _start_claim(self, state: LiveAgentState, now: float) -> None:
+        state.epoch += 1
+        # ALT boundary: the last (successful) acquisition wins, matching
+        # the DES backend's semantics for re-claims.
+        state.lock_acquired_at = now
+        state.visits_to_lock = len(state.visited)
+        self.claims[state.batch_id] = _Claim(
+            state=state, epoch=state.epoch,
+            deadline=now + self.config.ack_timeout,
+        )
+        self._broadcast(
+            "UPDATE",
+            {
+                "batch_id": state.batch_id,
+                "epoch": state.epoch,
+                "agent_id": state.agent_id,
+                "reply_to": self.host,
+            },
+        )
+
+    def _on_update(self, msg: LiveMessage, now: float) -> None:
+        p = msg.payload
+        agent_id = p["agent_id"]
+        free = self.grant_holder is None or now > self.grant_expires
+        if agent_id == self.grant_holder or free:
+            if self.grant_holder == agent_id:
+                self.grant_epoch = max(self.grant_epoch, p["epoch"])
+            else:
+                self.grant_epoch = p["epoch"]
+            self.grant_holder = agent_id
+            self.grant_expires = now + self.config.grant_ttl
+            self._send(
+                p["reply_to"],
+                "ACK",
+                {
+                    "batch_id": p["batch_id"],
+                    "epoch": p["epoch"],
+                    "from": self.host,
+                    "versions": {
+                        k: v for k, (_val, v) in self.store.items()
+                    },
+                },
+            )
+        else:
+            self._send(
+                p["reply_to"],
+                "NACK",
+                {
+                    "batch_id": p["batch_id"],
+                    "epoch": p["epoch"],
+                    "from": self.host,
+                },
+            )
+
+    def _claim_for(self, payload) -> Optional[_Claim]:
+        claim = self.claims.get(payload["batch_id"])
+        if claim is None or claim.epoch != payload["epoch"]:
+            return None
+        return claim
+
+    def _on_ack(self, msg: LiveMessage, now: float) -> None:
+        claim = self._claim_for(msg.payload)
+        if claim is None:
+            return
+        claim.acks[msg.payload["from"]] = msg.payload["versions"]
+        if len(claim.acks) >= self.majority:
+            self._complete_claim(claim, now)
+
+    def _on_nack(self, msg: LiveMessage, now: float) -> None:
+        claim = self._claim_for(msg.payload)
+        if claim is None:
+            return
+        claim.nacks.add(msg.payload["from"])
+        if self.n - len(claim.nacks) < self.majority:
+            self._fail_claim(claim, now)
+
+    def _complete_claim(self, claim: _Claim, now: float) -> None:
+        state = claim.state
+        del self.claims[state.batch_id]
+        # [D3] version ceiling: LT monotone max + ACKed version vectors.
+        writes = []
+        next_version: Dict[str, int] = {}
+        for request_id, key, value, _created in state.requests:
+            if key not in next_version:
+                ceiling = state.table.version_ceiling(key)
+                for versions in claim.acks.values():
+                    ceiling = max(ceiling, versions.get(key, 0))
+                next_version[key] = ceiling + 1
+            writes.append((request_id, key, value, next_version[key]))
+            next_version[key] += 1
+        self._broadcast(
+            "COMMIT",
+            {
+                "batch_id": state.batch_id,
+                "agent_id": state.agent_id,
+                "writes": tuple(writes),
+                "origin": state.home,
+            },
+        )
+        for request_id, key, _value, _version in writes:
+            self.transport.results.put(
+                {
+                    "type": "record",
+                    "request_id": request_id,
+                    "status": "committed",
+                    "home": state.home,
+                    "dispatched_at": state.dispatched_at,
+                    "lock_acquired_at": state.lock_acquired_at,
+                    "completed_at": now,
+                    "visits_to_lock": state.visits_to_lock,
+                    "hops": state.hops,
+                    "agent_id": str(state.agent_id),
+                }
+            )
+
+    def _fail_claim(self, claim: _Claim, now: float) -> None:
+        state = claim.state
+        del self.claims[state.batch_id]
+        state.failed_claims += 1
+        if state.failed_claims >= self.config.max_claims:
+            self._broadcast(
+                "ABORT",
+                {"batch_id": state.batch_id, "agent_id": state.agent_id},
+            )
+            for request_id, _key, _value, _created in state.requests:
+                self.transport.results.put(
+                    {
+                        "type": "record",
+                        "request_id": request_id,
+                        "status": "failed",
+                        "home": state.home,
+                        "dispatched_at": state.dispatched_at,
+                        "lock_acquired_at": None,
+                        "completed_at": now,
+                        "visits_to_lock": None,
+                        "hops": state.hops,
+                        "agent_id": str(state.agent_id),
+                    }
+                )
+            return
+        self._broadcast(
+            "RELEASE",
+            {
+                "batch_id": state.batch_id,
+                "agent_id": state.agent_id,
+                "epoch": state.epoch,
+            },
+        )
+        # Randomized backoff, then rejoin via the park machinery.
+        backoff = self._rng.expovariate(1.0 / self.config.claim_backoff)
+        self.parked[state.agent_id] = (state, now + backoff)
+
+    # -- replica-side commit path -----------------------------------------------
+
+    def _on_commit(self, msg: LiveMessage, now: float) -> None:
+        p = msg.payload
+        for request_id, key, value, version in p["writes"]:
+            current = self.store.get(key)
+            if current is None or version > current[1]:
+                self.store[key] = (value, version)
+                self.history.append((request_id, key, version))
+        self._forget_agent(p["agent_id"])
+        self._wake_parked(now)
+
+    def _on_release(self, msg: LiveMessage, abort: bool = False) -> None:
+        p = msg.payload
+        if self.grant_holder == p["agent_id"]:
+            # Epoch guard: a stale RELEASE (overtaken by the re-claim's
+            # UPDATE) must not clear a newer grant. ABORT is terminal.
+            release_epoch = p.get("epoch")
+            if abort or release_epoch is None or (
+                self.grant_epoch <= release_epoch
+            ):
+                self.grant_holder = None
+                self.grant_epoch = 0
+                self.grant_expires = float("-inf")
+        if abort:
+            self._forget_agent(p["agent_id"])
+            self._wake_parked(now_ms())
+
+    def _forget_agent(self, agent_id: AgentId) -> None:
+        if self.grant_holder == agent_id:
+            self.grant_holder = None
+            self.grant_epoch = 0
+            self.grant_expires = float("-inf")
+        self.locking_list = [
+            (entry, batch)
+            for entry, batch in self.locking_list
+            if entry != agent_id
+        ]
+        self.updated.add(agent_id)
+
+    def _wake_parked(self, now: float) -> None:
+        woken, self.parked = self.parked, {}
+        for state, _deadline in woken.values():
+            self._wake(state, now)
+
+    # -- timers -------------------------------------------------------------------
+
+    def _check_timers(self, now: float) -> None:
+        for batch_id in list(self.claims):
+            claim = self.claims.get(batch_id)
+            if claim is not None and now > claim.deadline:
+                self._fail_claim(claim, now)
+        due = [
+            agent_id
+            for agent_id, (_state, deadline) in self.parked.items()
+            if now > deadline
+        ]
+        for agent_id in due:
+            state, _deadline = self.parked.pop(agent_id)
+            self._wake(state, now)
+
+    # -- shutdown --------------------------------------------------------------------
+
+    def _emit_final(self) -> None:
+        self.transport.results.put(
+            {
+                "type": "final",
+                "host": self.host,
+                "store": {
+                    k: (repr(v), ver) for k, (v, ver) in self.store.items()
+                },
+                "history": list(self.history),
+                "locking_list_len": len(self.locking_list),
+                "parked": len(self.parked),
+            }
+        )

@@ -1,0 +1,54 @@
+"""Agent shipping: serialise an agent's state for migration.
+
+In the live runtime an agent migration is a real pickle round-trip —
+exactly what Aglets did with Java serialisation. The carried state is
+the paper's suitcase: the Request List, the Locking Table (a genuine
+:class:`repro.core.locking_table.LockingTable`), the Un-visited Servers
+List and the identifiers.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple
+
+from repro.agents.identity import AgentId
+from repro.core.locking_table import LockingTable
+
+__all__ = ["LiveAgentState", "ship", "unship"]
+
+
+@dataclass
+class LiveAgentState:
+    """The migrating state of one live update agent."""
+
+    agent_id: AgentId
+    home: str
+    batch_id: int
+    #: (request_id, key, value, created_at_ms)
+    requests: List[Tuple[int, str, object, float]]
+    table: LockingTable = field(default_factory=LockingTable)
+    visited: Set[str] = field(default_factory=set)
+    tour_remaining: List[str] = field(default_factory=list)
+    unavailable: Set[str] = field(default_factory=set)
+    visit_events: int = 0
+    epoch: int = 0
+    failed_claims: int = 0
+    dispatched_at: Optional[float] = None
+    lock_acquired_at: Optional[float] = None
+    visits_to_lock: Optional[int] = None
+    hops: int = 0
+
+
+def ship(state: LiveAgentState) -> bytes:
+    """Serialise for migration; the byte length sizes the transfer."""
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unship(blob: bytes) -> LiveAgentState:
+    """Rehydrate a migrated agent at the destination host."""
+    state = pickle.loads(blob)
+    if not isinstance(state, LiveAgentState):
+        raise TypeError(f"expected LiveAgentState, got {type(state)!r}")
+    return state

@@ -1,0 +1,134 @@
+"""Live transport: real queues with injected latency.
+
+Each host owns a mailbox (``queue.Queue`` for the thread backend,
+``multiprocessing.Queue`` for the process backend). A send schedules
+delivery after a uniformly random delay via a daemon timer thread in the
+*sending* runtime, so messages really do arrive asynchronously and out
+of order — the live equivalent of the DES network.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+from repro.errors import NetworkError
+
+__all__ = ["LiveMessage", "LiveTransport"]
+
+
+@dataclass
+class LiveMessage:
+    """One transmission between live hosts (must be picklable)."""
+
+    kind: str
+    src: str
+    dst: str
+    payload: Any = None
+    size_bytes: int = 0
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+
+class LiveTransport:
+    """Mailbox fabric shared by all hosts of one live cluster."""
+
+    def __init__(
+        self,
+        hosts,
+        backend: str = "thread",
+        latency_range: Tuple[float, float] = (1.0, 4.0),
+        bandwidth_bytes_per_ms: float = 1e5,
+        seed: int = 0,
+    ) -> None:
+        if backend not in ("thread", "process"):
+            raise NetworkError(f"unknown live backend {backend!r}")
+        low, high = latency_range
+        if not 0 <= low <= high:
+            raise NetworkError(f"invalid latency range {latency_range}")
+        self.backend = backend
+        self.hosts = list(hosts)
+        self.latency_range = (low, high)
+        self.bandwidth = bandwidth_bytes_per_ms
+        if backend == "thread":
+            self.mailboxes: Dict[str, Any] = {
+                h: queue.Queue() for h in self.hosts
+            }
+            self.results: Any = queue.Queue()
+        else:
+            ctx = multiprocessing.get_context("fork")
+            self.mailboxes = {h: ctx.Queue() for h in self.hosts}
+            self.results = ctx.Queue()
+        # stdlib RNG: picklable-free per-runtime usage; each runtime gets
+        # its own child seed in practice, here one shared lock suffices
+        # for the thread backend and each forked process re-seeds.
+        self._rng = random.Random(seed)
+        self._rng_lock = threading.Lock()
+        # blocked (src, dst) pairs: transmissions are silently dropped.
+        # Thread backend only (shared set); process runtimes fork a copy.
+        self._blocked: set = set()
+
+    # -- fault injection (thread backend) ---------------------------------
+
+    def block(self, src: str, dst: str) -> None:
+        """Drop everything sent on this link (both directions)."""
+        self._blocked.add((src, dst))
+        self._blocked.add((dst, src))
+
+    def unblock(self, src: str, dst: str) -> None:
+        """Restore a previously blocked link."""
+        self._blocked.discard((src, dst))
+        self._blocked.discard((dst, src))
+
+    def isolate(self, host: str) -> None:
+        """Cut every link to/from ``host`` (a live 'crash')."""
+        for other in self.hosts:
+            if other != host:
+                self.block(host, other)
+
+    def heal(self, host: str) -> None:
+        """Reconnect an isolated host."""
+        for other in self.hosts:
+            if other != host:
+                self.unblock(host, other)
+
+    def reseed(self, salt: int) -> None:
+        """Called by forked runtimes so children diverge deterministically."""
+        self._rng = random.Random(salt)
+        self._rng_lock = threading.Lock()
+
+    def _delay_ms(self, size_bytes: int) -> float:
+        with self._rng_lock:
+            base = self._rng.uniform(*self.latency_range)
+        return base + size_bytes / self.bandwidth
+
+    def send(self, msg: LiveMessage) -> float:
+        """Schedule delivery; returns the sampled delay in ms.
+
+        Returns ``-1.0`` when the link is blocked (message dropped).
+        """
+        if msg.dst not in self.mailboxes:
+            raise NetworkError(f"unknown destination {msg.dst!r}")
+        if (msg.src, msg.dst) in self._blocked:
+            return -1.0
+        delay = self._delay_ms(msg.size_bytes)
+        mailbox = self.mailboxes[msg.dst]
+        if delay < 0.05:  # sub-tick delays: deliver synchronously
+            mailbox.put(msg)
+        else:
+            timer = threading.Timer(delay / 1000.0, mailbox.put, args=(msg,))
+            timer.daemon = True
+            timer.start()
+        return delay
+
+    def mailbox(self, host: str):
+        return self.mailboxes[host]
+
+    def __repr__(self) -> str:
+        return (
+            f"<LiveTransport backend={self.backend} hosts={len(self.hosts)} "
+            f"latency={self.latency_range}>"
+        )

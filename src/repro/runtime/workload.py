@@ -1,0 +1,104 @@
+"""Open-loop workload driving for the live runtime.
+
+One daemon thread per host submits updates at exponential inter-arrival
+times against a running :class:`~repro.runtime.cluster.LiveCluster` —
+the live equivalent of :func:`repro.replication.client.attach_clients`.
+Completion records convert to :class:`RequestRecord`s so the standard
+metrics (ALT/ATT/PRK) apply unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.replication.requests import WRITE, RequestRecord
+from repro.runtime.cluster import LiveCluster
+
+__all__ = ["LiveWorkloadDriver", "records_from_dicts"]
+
+
+def records_from_dicts(raw_records: List[dict]) -> List[RequestRecord]:
+    """Adapt the live runtime's record dicts to RequestRecords."""
+    out = []
+    for raw in raw_records:
+        out.append(
+            RequestRecord(
+                request_id=raw["request_id"],
+                home=raw["home"],
+                op=WRITE,
+                key="x",
+                created_at=raw.get("created_at", raw["dispatched_at"]),
+                dispatched_at=raw["dispatched_at"],
+                lock_acquired_at=raw["lock_acquired_at"],
+                completed_at=raw["completed_at"],
+                visits_to_lock=raw["visits_to_lock"],
+                agent_id=raw.get("agent_id"),
+                status=raw["status"],
+            )
+        )
+    return out
+
+
+class LiveWorkloadDriver:
+    """Submits an update-only workload against a live cluster."""
+
+    def __init__(
+        self,
+        cluster: LiveCluster,
+        mean_interarrival_ms: float = 50.0,
+        writes_per_host: int = 5,
+        key: str = "x",
+        seed: int = 0,
+    ) -> None:
+        if mean_interarrival_ms <= 0:
+            raise WorkloadError(
+                f"mean inter-arrival must be > 0: {mean_interarrival_ms}"
+            )
+        if writes_per_host < 1:
+            raise WorkloadError(
+                f"writes_per_host must be >= 1: {writes_per_host}"
+            )
+        self.cluster = cluster
+        self.mean_interarrival_ms = mean_interarrival_ms
+        self.writes_per_host = writes_per_host
+        self.key = key
+        self.seed = seed
+        self._threads: List[threading.Thread] = []
+
+    @property
+    def total_writes(self) -> int:
+        return self.writes_per_host * len(self.cluster.hosts)
+
+    def _submitter(self, host: str, index: int) -> None:
+        rng = random.Random(f"{self.seed}:{host}")
+        for sequence in range(self.writes_per_host):
+            time.sleep(
+                rng.expovariate(1.0 / self.mean_interarrival_ms) / 1000.0
+            )
+            self.cluster.submit_write(
+                host, self.key, (index, sequence)
+            )
+
+    def run(self, timeout: float = 120.0) -> List[RequestRecord]:
+        """Submit everything and block for all completions (wall secs)."""
+        for index, host in enumerate(self.cluster.hosts):
+            thread = threading.Thread(
+                target=self._submitter, args=(host, index),
+                name=f"live-client-{host}", daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        raw = self.cluster.wait_for(self.total_writes, timeout=timeout)
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        return records_from_dicts(raw)
+
+    def __repr__(self) -> str:
+        return (
+            f"<LiveWorkloadDriver hosts={len(self.cluster.hosts)} "
+            f"gap={self.mean_interarrival_ms}ms x{self.writes_per_host}>"
+        )

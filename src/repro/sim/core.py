@@ -1,0 +1,333 @@
+"""The discrete-event simulation environment and process model.
+
+:class:`Environment` owns simulated time and the event queue; a
+:class:`Process` wraps a Python generator that advances by yielding
+:class:`~repro.sim.events.Event` objects. The kernel is deterministic:
+events scheduled for the same instant are processed in FIFO order of
+scheduling (stable via a monotone sequence number), with an urgency tier
+so that interrupts and process initialisation run before ordinary events
+at the same timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.errors import SimulationError, StopSimulation
+from repro.sim.events import PENDING, Event
+from repro.sim.interrupts import Interrupt
+
+__all__ = ["Environment", "Process", "Timeout", "URGENT", "NORMAL"]
+
+#: Scheduling tier for interrupts and process bootstrap.
+URGENT = 0
+#: Scheduling tier for ordinary events.
+NORMAL = 1
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Timeout(Event):
+    """An event that triggers automatically ``delay`` time units later."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay!r} at {hex(id(self))}>"
+
+
+class _Initialize(Event):
+    """Urgent event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class _Interruption(Event):
+    """Urgent event that delivers an :class:`Interrupt` to a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any) -> None:
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError(f"{process!r} has already terminated")
+        if process is self.env.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        self.process = process
+        self.callbacks.append(self._deliver)
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True  # the interrupt is delivered, never re-raised
+        self.env.schedule(self, priority=URGENT)
+
+    def _deliver(self, event: Event) -> None:
+        process = self.process
+        if process.triggered:
+            return  # process ended before the interrupt arrived; drop it
+        # Detach the process from whatever it was waiting on, then resume
+        # it with the failing interruption event so Interrupt is raised at
+        # the yield point.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._resume(self)
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A process is itself an event: it triggers when the underlying
+    generator terminates, with the generator's return value (or its
+    exception). Other processes can therefore ``yield`` a process to wait
+    for its completion.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"Process requires a generator, got {generator!r}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not terminated."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point."""
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # Mark the failure as handled: it is being delivered.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self)
+                break
+            except StopSimulation:
+                env._active_process = None
+                raise
+            except BaseException as exc:
+                self._ok = False
+                self._value = exc
+                env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+            if next_event.env is not env:
+                raise SimulationError(
+                    f"process {self.name!r} yielded an event from a "
+                    "different environment"
+                )
+            if next_event.callbacks is not None:
+                # Event still pending or scheduled: park until it fires.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: feed its value back immediately.
+            event = next_event
+
+        env._active_process = None
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} at {hex(id(self))}>"
+
+
+class Environment:
+    """Owns the simulation clock and event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (default ``0.0``).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: Optional[str] = None
+    ) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.conditions import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.conditions import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Put a triggered event on the queue ``delay`` units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, self._seq, event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``
+                run until the queue drains;
+            a number
+                run until the clock reaches that time;
+            an :class:`Event`
+                run until the event triggers and return its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                # Already processed before the run started.
+                if stop_event._ok:
+                    return stop_event._value
+                raise stop_event._value
+            stop_event.callbacks.append(_stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise SimulationError(
+                    f"run(until={at}) is in the past (now={self._now})"
+                )
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            stop_event.callbacks.append(_stop_callback)
+            # Urgent so that the clock stops *before* normal events at
+            # exactly `until` are processed.
+            self.schedule(stop_event, delay=at - self._now, priority=URGENT)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None and isinstance(until, Event):
+            raise SimulationError(
+                "run(until=event) finished but the event never triggered"
+            )
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"
+
+
+def _stop_callback(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    # Propagate failures of the until-event to the caller of run().
+    event._defused = True
+    raise event._value

@@ -1,0 +1,34 @@
+"""Process interruption support.
+
+A process may be interrupted by another process while it is waiting on an
+event. The interrupt is delivered as an :class:`Interrupt` exception raised
+at the point of the ``yield``; the interrupted process may catch it and
+continue (the event it was waiting on remains valid and can be re-yielded).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Interrupt"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called.
+
+    Attributes
+    ----------
+    cause:
+        The object passed to ``interrupt()`` describing why the process
+        was interrupted.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+    def __str__(self) -> str:
+        return f"Interrupt({self.cause!r})"

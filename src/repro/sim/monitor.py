@@ -1,0 +1,112 @@
+"""Time-series measurement collection.
+
+A :class:`Monitor` records ``(time, value)`` observations; a
+:class:`StateMonitor` tracks a piecewise-constant state variable and can
+compute its time-weighted average (e.g. mean locking-list length). Both
+convert to numpy arrays for the analysis layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Monitor", "StateMonitor"]
+
+
+class Monitor:
+    """Append-only series of timestamped observations."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def mean(self) -> float:
+        """Arithmetic mean of the observed values (nan when empty)."""
+        if not self._values:
+            return float("nan")
+        return float(np.mean(self._values))
+
+    def percentile(self, q: float) -> float:
+        if not self._values:
+            return float("nan")
+        return float(np.percentile(self._values, q))
+
+    def clear(self) -> None:
+        self._times.clear()
+        self._values.clear()
+
+    def __repr__(self) -> str:
+        return f"<Monitor {self.name!r} n={len(self)}>"
+
+
+class StateMonitor:
+    """Tracks a piecewise-constant variable for time-weighted statistics.
+
+    Call :meth:`set` whenever the state changes; :meth:`time_average`
+    integrates the step function from the first sample to ``until``.
+    """
+
+    __slots__ = ("name", "_times", "_states")
+
+    def __init__(self, name: str = "", initial: Optional[float] = None,
+                 time: float = 0.0) -> None:
+        self.name = name
+        self._times: List[float] = []
+        self._states: List[float] = []
+        if initial is not None:
+            self.set(time, initial)
+
+    def set(self, time: float, state: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"StateMonitor time went backwards: {time} < {self._times[-1]}"
+            )
+        self._times.append(float(time))
+        self._states.append(float(state))
+
+    @property
+    def current(self) -> float:
+        if not self._states:
+            raise ValueError("StateMonitor has no samples")
+        return self._states[-1]
+
+    def time_average(self, until: float) -> float:
+        """Time-weighted mean of the state over ``[first sample, until]``."""
+        if not self._times:
+            return float("nan")
+        times = np.asarray(self._times + [float(until)])
+        states = np.asarray(self._states)
+        widths = np.diff(times)
+        total = times[-1] - times[0]
+        if total <= 0:
+            return float(states[-1])
+        return float(np.dot(widths, states) / total)
+
+    def samples(self) -> Tuple[np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self._times, dtype=float),
+            np.asarray(self._states, dtype=float),
+        )
+
+    def __repr__(self) -> str:
+        return f"<StateMonitor {self.name!r} n={len(self._times)}>"

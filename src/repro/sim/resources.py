@@ -1,0 +1,135 @@
+"""Shared resources with a fixed number of usage slots.
+
+:class:`Resource` models mutual exclusion / limited concurrency: a process
+yields ``resource.request()`` to acquire a slot and calls ``release`` (or
+uses the request as a context manager) when done. :class:`PriorityResource`
+grants pending requests in priority order.
+
+The replica servers use a unit-capacity :class:`Resource` to serialise
+application of UPDATE messages against their local store.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Deque, List
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+__all__ = ["Resource", "PriorityResource", "Request"]
+
+
+class Request(Event):
+    """Acquisition event; fires when the slot is granted.
+
+    Usable as a context manager::
+
+        with resource.request() as req:
+            yield req
+            ... critical section ...
+    """
+
+    __slots__ = ("resource", "priority", "_seq")
+
+    def __init__(self, resource: "Resource", priority: Any = 0) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        self._seq = 0
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def __lt__(self, other: "Request") -> bool:
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self._seq < other._seq
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots granted FIFO."""
+
+    def __init__(self, env, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1: {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self._waiters: Deque[Request] = deque()
+        self._seq = 0
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self, priority: Any = 0) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        event = Request(self, priority)
+        self._seq += 1
+        event._seq = self._seq
+        self._enqueue(event)
+        self._grant()
+        return event
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot.
+
+        Releasing a request that was never granted simply cancels it
+        (removes it from the wait queue) — this makes the context-manager
+        form safe even when the body raises before the grant.
+        """
+        try:
+            self.users.remove(request)
+        except ValueError:
+            self._cancel(request)
+            return
+        self._grant()
+
+    # -- queue policy (overridden by PriorityResource) ---------------------
+
+    def _enqueue(self, event: Request) -> None:
+        self._waiters.append(event)
+
+    def _next_waiter(self) -> Request:
+        return self._waiters.popleft()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiters.remove(request)
+        except ValueError:
+            pass
+
+    def _grant(self) -> None:
+        while self._waiters and len(self.users) < self.capacity:
+            event = self._next_waiter()
+            if event.triggered:
+                continue
+            self.users.append(event)
+            event.succeed()
+
+
+class PriorityResource(Resource):
+    """A resource that grants waiting requests lowest-priority-first."""
+
+    def __init__(self, env, capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._waiters: List[Request] = []  # heap
+
+    def _enqueue(self, event: Request) -> None:
+        heapq.heappush(self._waiters, event)
+
+    def _next_waiter(self) -> Request:
+        return heapq.heappop(self._waiters)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self._waiters.remove(request)
+            heapq.heapify(self._waiters)
+        except ValueError:
+            pass

@@ -1,0 +1,71 @@
+"""Operation mixes: what each generated request does.
+
+The paper's evaluation is update-driven (every request dispatches an
+agent) while its design argument assumes a "high read-to-update ratio".
+:class:`OperationMix` covers both: a write fraction, a key population
+with optional Zipf skew, and a value generator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import WorkloadError
+from repro.replication.requests import READ, WRITE
+from repro.sim.rng import Stream
+
+__all__ = ["OperationMix"]
+
+
+class OperationMix:
+    """Samples (operation, key, value) triples.
+
+    Parameters
+    ----------
+    write_fraction:
+        Probability a request is an update (1.0 reproduces the paper's
+        evaluation workload).
+    keys:
+        Key population; defaults to the single object ``"x"`` — the paper
+        coordinates one replicated data item.
+    key_skew:
+        Zipf theta over the key population (0 = uniform).
+    """
+
+    def __init__(
+        self,
+        write_fraction: float = 1.0,
+        keys: Optional[List[str]] = None,
+        key_skew: float = 0.0,
+    ) -> None:
+        if not 0.0 <= write_fraction <= 1.0:
+            raise WorkloadError(
+                f"write_fraction must be in [0, 1]: {write_fraction}"
+            )
+        if key_skew < 0:
+            raise WorkloadError(f"key_skew must be >= 0: {key_skew}")
+        self.write_fraction = write_fraction
+        if keys is not None and len(keys) == 0:
+            raise WorkloadError("key population must be non-empty")
+        self.keys = list(keys) if keys is not None else ["x"]
+        self.key_skew = key_skew
+        self._value_counter = 0
+
+    def sample(self, stream: Stream) -> Tuple[str, str, Optional[int]]:
+        """One (op, key, value) draw; reads carry ``value=None``."""
+        op = WRITE if stream.random() < self.write_fraction else READ
+        if len(self.keys) == 1:
+            key = self.keys[0]
+        else:
+            key = self.keys[stream.zipf_index(len(self.keys), self.key_skew)]
+        value = None
+        if op == WRITE:
+            self._value_counter += 1
+            value = self._value_counter
+        return op, key, value
+
+    def __repr__(self) -> str:
+        return (
+            f"OperationMix(write_fraction={self.write_fraction}, "
+            f"keys={len(self.keys)}, skew={self.key_skew})"
+        )

@@ -1,0 +1,73 @@
+"""Workload traces: record a generated workload and replay it verbatim.
+
+Recording the exact request stream lets two protocols be driven by the
+*identical* workload (beyond sharing a seed), and lets a failing run be
+replayed deterministically while debugging.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterator, List, Optional
+
+from repro.errors import WorkloadError
+
+__all__ = ["TraceEntry", "WorkloadTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One request in a recorded workload."""
+
+    at: float  # absolute simulated arrival time (ms)
+    home: str
+    op: str
+    key: str
+    value: Optional[int] = None
+
+
+class WorkloadTrace:
+    """An ordered, serialisable sequence of :class:`TraceEntry`."""
+
+    def __init__(self, entries: Optional[List[TraceEntry]] = None) -> None:
+        self.entries: List[TraceEntry] = list(entries or [])
+        self._validate()
+
+    def _validate(self) -> None:
+        last = float("-inf")
+        for entry in self.entries:
+            if entry.at < last:
+                raise WorkloadError("trace entries must be time-ordered")
+            last = entry.at
+
+    def record(self, entry: TraceEntry) -> None:
+        if self.entries and entry.at < self.entries[-1].at:
+            raise WorkloadError("trace entries must be appended in time order")
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self.entries)
+
+    def for_home(self, home: str) -> List[TraceEntry]:
+        return [e for e in self.entries if e.home == home]
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def dumps(self) -> str:
+        return json.dumps([asdict(e) for e in self.entries])
+
+    @classmethod
+    def loads(cls, text: str) -> "WorkloadTrace":
+        try:
+            raw = json.loads(text)
+            entries = [TraceEntry(**item) for item in raw]
+        except (ValueError, TypeError) as exc:
+            raise WorkloadError(f"malformed trace: {exc}") from exc
+        return cls(entries)
+
+    def __repr__(self) -> str:
+        return f"<WorkloadTrace n={len(self.entries)}>"

@@ -1,0 +1,63 @@
+"""Unit tests for agent identity and its total order."""
+
+from repro.agents.identity import AgentId, AgentIdFactory
+
+
+class TestAgentIdOrdering:
+    def test_earlier_creation_time_wins(self):
+        older = AgentId("zhost", 1.0, 0)
+        younger = AgentId("ahost", 2.0, 0)
+        assert older < younger
+
+    def test_tie_broken_by_host(self):
+        a = AgentId("alpha", 1.0, 0)
+        b = AgentId("beta", 1.0, 0)
+        assert a < b
+
+    def test_tie_broken_by_seq(self):
+        first = AgentId("h", 1.0, 0)
+        second = AgentId("h", 1.0, 1)
+        assert first < second
+
+    def test_total_order_is_strict(self):
+        a = AgentId("h", 1.0, 0)
+        b = AgentId("h", 1.0, 0)
+        assert not (a < b)
+        assert a == b
+
+    def test_sortable_collections(self):
+        ids = [
+            AgentId("b", 2.0, 0),
+            AgentId("a", 1.0, 1),
+            AgentId("a", 1.0, 0),
+        ]
+        assert sorted(ids) == [ids[2], ids[1], ids[0]]
+
+    def test_hashable(self):
+        assert len({AgentId("h", 1.0, 0), AgentId("h", 1.0, 0)}) == 1
+
+    def test_str_format(self):
+        assert str(AgentId("s1", 12.5, 3)) == "s1@12.5#3"
+
+    def test_wire_size_positive(self):
+        assert AgentId("server-1", 0.0, 0).wire_size() > 0
+
+
+class TestAgentIdFactory:
+    def test_unique_at_same_instant(self):
+        factory = AgentIdFactory("s1")
+        first = factory.new(5.0)
+        second = factory.new(5.0)
+        assert first != second
+        assert first < second
+
+    def test_distinct_instants_reset_seq(self):
+        factory = AgentIdFactory("s1")
+        a = factory.new(1.0)
+        b = factory.new(2.0)
+        assert a.seq == 0
+        assert b.seq == 0
+        assert a < b
+
+    def test_host_recorded(self):
+        assert AgentIdFactory("myhost").new(0.0).host == "myhost"

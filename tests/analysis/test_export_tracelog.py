@@ -1,0 +1,116 @@
+"""Tests for result export and the trace log module."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    ablation_to_csv,
+    comparison_to_csv,
+    comparison_to_json,
+    figure_to_csv,
+    figure_to_json,
+    figure_to_rows,
+)
+from repro.analysis.tracelog import ProtocolTrace
+from repro.experiments.ablations import AblationTable
+from repro.experiments.common import FigureData
+from repro.experiments.table_comparison import ComparisonRow, ComparisonTable
+
+
+@pytest.fixture
+def figure():
+    return FigureData(
+        title="Figure X",
+        x_label="gap",
+        x_values=[10.0, 20.0],
+        series={"3 servers": [5.0, 3.0], "5 servers": [9.0, 6.0]},
+    )
+
+
+@pytest.fixture
+def comparison():
+    table = ComparisonTable(title="T")
+    table.rows.append(
+        ComparisonRow(
+            protocol="marp", latency="lan", mean_interarrival=30.0,
+            committed=10.0, failed=0.0, att=12.5, control_messages=100.0,
+            control_bytes=4096.0, agent_migrations=30.0,
+            agent_bytes=2048.0, msgs_per_commit=13.0, consistent=True,
+        )
+    )
+    return table
+
+
+class TestFigureExport:
+    def test_rows_shape(self, figure):
+        header, rows = figure_to_rows(figure)
+        assert header == ["gap", "3 servers", "5 servers"]
+        assert rows == [[10.0, 5.0, 9.0], [20.0, 3.0, 6.0]]
+
+    def test_csv_round_trip(self, figure):
+        parsed = list(csv.reader(io.StringIO(figure_to_csv(figure))))
+        assert parsed[0] == ["gap", "3 servers", "5 servers"]
+        assert parsed[1] == ["10.0", "5.0", "9.0"]
+
+    def test_json_fields(self, figure):
+        data = json.loads(figure_to_json(figure))
+        assert data["title"] == "Figure X"
+        assert data["series"]["5 servers"] == [9.0, 6.0]
+        assert data["all_consistent"] is True
+
+
+class TestComparisonExport:
+    def test_csv(self, comparison):
+        parsed = list(csv.reader(io.StringIO(comparison_to_csv(comparison))))
+        assert parsed[0][0] == "protocol"
+        assert parsed[1][0] == "marp"
+
+    def test_json(self, comparison):
+        data = json.loads(comparison_to_json(comparison))
+        assert data["rows"][0]["protocol"] == "marp"
+        assert data["rows"][0]["att"] == 12.5
+
+
+class TestAblationExport:
+    def test_csv(self):
+        table = AblationTable(
+            title="A", headers=["variant", "metric"],
+            rows=[["a", 1.0], ["b", 2.0]],
+        )
+        parsed = list(csv.reader(io.StringIO(ablation_to_csv(table))))
+        assert parsed == [["variant", "metric"], ["a", "1.0"], ["b", "2.0"]]
+
+
+class TestProtocolTraceUnit:
+    def test_record_and_filter(self):
+        trace = ProtocolTrace()
+        trace.record(1.0, "dispatch", host="s1", agent="a1")
+        trace.record(2.0, "commit", host="s2", agent="a1")
+        trace.record(3.0, "dispatch", host="s2", agent="a2")
+        assert len(trace) == 3
+        assert len(trace.of_kind("dispatch")) == 2
+        assert len(trace.for_agent("a1")) == 2
+        assert trace.counts()["commit"] == 1
+
+    def test_journeys_running_state(self):
+        trace = ProtocolTrace()
+        trace.record(1.0, "dispatch", host="s1", agent="a1")
+        trace.record(2.0, "arrive", host="s2", agent="a1")
+        journeys = trace.journeys()
+        assert journeys["a1"] == "s1 > s2 [running]"
+
+    def test_render_log_full(self):
+        trace = ProtocolTrace()
+        trace.record(1.0, "dispatch", host="s1", agent="a1", detail="d")
+        text = trace.render_log(limit=None)
+        assert "dispatch" in text
+        assert "more events" not in text
+
+    def test_render_journeys(self):
+        trace = ProtocolTrace()
+        trace.record(1.0, "dispatch", host="s1", agent="a1")
+        trace.record(2.0, "abort", host="s1", agent="a1")
+        assert "[abort]" in trace.render_journeys()

@@ -1,0 +1,98 @@
+"""Unit tests for summary statistics and text tables."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import Summary, confidence_interval, summarize
+from repro.analysis.tables import format_cell, format_series, format_table
+
+
+class TestSummarize:
+    def test_basic_summary(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.n == 5
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.p50 == 3.0
+
+    def test_nan_values_filtered(self):
+        summary = summarize([1.0, float("nan"), 3.0])
+        assert summary.n == 2
+        assert summary.mean == 2.0
+
+    def test_empty_is_all_nan(self):
+        summary = summarize([])
+        assert summary.n == 0
+        assert math.isnan(summary.mean)
+
+    def test_single_value_degenerate_ci(self):
+        summary = summarize([7.0])
+        assert summary.ci_low == summary.ci_high == 7.0
+        assert summary.std == 0.0
+
+    def test_ci_contains_mean(self):
+        summary = summarize([10.0, 12.0, 11.0, 9.0, 13.0])
+        assert summary.ci_low < summary.mean < summary.ci_high
+
+    def test_confidence_interval_widens_with_spread(self):
+        tight = confidence_interval([10.0, 10.1, 9.9])
+        wide = confidence_interval([5.0, 15.0, 10.0])
+        assert (wide[1] - wide[0]) > (tight[1] - tight[0])
+
+    def test_confidence_interval_empty(self):
+        low, high = confidence_interval([])
+        assert math.isnan(low) and math.isnan(high)
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+
+    def test_nan(self):
+        assert format_cell(float("nan")) == "nan"
+
+    def test_large_float_grouped(self):
+        assert format_cell(1234567.0) == "1,234,567"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1.5], ["b", 22.25]],
+        )
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "alpha" in lines[2]
+        # numeric column right-aligned: both rows end aligned
+        assert lines[2].rstrip().endswith("1.5")
+
+    def test_title_rendered(self):
+        text = format_table(["h"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_format_series(self):
+        text = format_series(
+            "x", [1, 2], {"s1": [10.0, 20.0], "s2": [30.0, 40.0]},
+        )
+        assert "s1" in text and "s2" in text
+        assert "10.0" in text
+
+    def test_format_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"s1": [10.0]})

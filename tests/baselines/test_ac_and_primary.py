@@ -1,0 +1,133 @@
+"""Tests for Available Copies and Primary Copy baselines."""
+
+import pytest
+
+from repro.analysis.consistency import audit
+from repro.baselines.available_copies import AvailableCopies
+from repro.baselines.primary_copy import PrimaryCopy
+from repro.net.faults import CrashSchedule, FaultPlan, TransientLinkFaults
+from repro.replication.deployment import Deployment
+
+
+class TestAvailableCopies:
+    def test_single_write_reaches_all(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        ac = AvailableCopies(dep)
+        record = ac.submit_write("s1", "x", 1)
+        dep.run(until=100_000)
+        assert record.status == "committed"
+        assert record.extra["available_copies"] == ["s1", "s2", "s3"]
+        for host in dep.hosts:
+            assert dep.server(host).store.read("x").value == 1
+
+    def test_concurrent_writes_queue_without_livelock(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        ac = AvailableCopies(dep)
+        records = [
+            ac.submit_write(host, "x", index)
+            for index, host in enumerate(dep.hosts)
+        ]
+        dep.run(until=1_000_000)
+        assert all(r.status == "committed" for r in records)
+        assert audit(dep).consistent
+
+    def test_skips_crashed_replica(self):
+        faults = FaultPlan(crashes=CrashSchedule().add("s3", 0, 1_000_000))
+        dep = Deployment(n_replicas=3, seed=0, faults=faults)
+        ac = AvailableCopies(dep, detection_timeout=50.0)
+        record = ac.submit_write("s1", "x", 1)
+        dep.run(until=1_000_000)
+        assert record.status == "committed"
+        assert record.extra["skipped"] == ["s3"]
+        assert dep.server("s1").store.read("x").value == 1
+        assert dep.server("s3").store.read("x") is None  # left behind
+
+    def test_local_reads(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        ac = AvailableCopies(dep)
+        ac.submit_write("s1", "x", "v")
+        dep.run(until=100_000)
+        record = ac.submit_read("s2", "x")
+        dep.run(until=200_000)
+        assert record.status == "read-done"
+        assert record.value == "v"
+
+    def test_detection_timeout_validation(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        with pytest.raises(ValueError):
+            AvailableCopies(dep, detection_timeout=0)
+
+    def test_partition_causes_divergence(self):
+        """The AC weakness the paper cites: a partition that cuts one
+        coordinator off from a replica lets the replica miss updates the
+        rest of the system accepted (no quorum intersection)."""
+        links = TransientLinkFaults()
+        # s1 cannot reach s3 at all during the run
+        links.add_outage("s1", "s3", 0, 10_000_000)
+        dep = Deployment(
+            n_replicas=3, seed=0, faults=FaultPlan(links=links),
+        )
+        ac = AvailableCopies(dep, detection_timeout=40.0)
+        record = ac.submit_write("s1", "x", "partitioned-write")
+        dep.run(until=1_000_000)
+        assert record.status == "committed"
+        assert "s3" in record.extra["skipped"]
+        report = audit(dep)
+        assert not report.complete  # s3 misses the committed update
+
+
+class TestPrimaryCopy:
+    def test_single_write_commits_everywhere(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        pc = PrimaryCopy(dep)
+        record = pc.submit_write("s2", "x", 9)
+        dep.run(until=100_000)
+        assert record.status == "committed"
+        for host in dep.hosts:
+            assert dep.server(host).store.read("x").value == 9
+
+    def test_primary_serialises_global_order(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        pc = PrimaryCopy(dep)
+        for index, host in enumerate(dep.hosts):
+            pc.submit_write(host, "x", index)
+        dep.run(until=1_000_000)
+        report = audit(dep)
+        assert report.consistent
+        assert report.identical_histories
+        assert pc.writes_serialized == 3
+
+    def test_custom_primary(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        pc = PrimaryCopy(dep, primary="s2")
+        record = pc.submit_write("s1", "x", 1)
+        dep.run(until=100_000)
+        assert record.status == "committed"
+
+    def test_unknown_primary_rejected(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        with pytest.raises(ValueError):
+            PrimaryCopy(dep, primary="zz")
+
+    def test_crashed_primary_fails_writes(self):
+        faults = FaultPlan(crashes=CrashSchedule().add("s1", 0, 1_000_000))
+        dep = Deployment(n_replicas=3, seed=0, faults=faults)
+        pc = PrimaryCopy(dep, write_timeout=200.0)
+        record = pc.submit_write("s2", "x", 1)
+        dep.run(until=1_000_000)
+        assert record.status == "failed"
+
+    def test_local_read(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        pc = PrimaryCopy(dep)
+        pc.submit_write("s1", "x", "val")
+        dep.run(until=100_000)
+        record = pc.submit_read("s3", "x")
+        dep.run(until=200_000)
+        assert record.status == "read-done"
+        assert record.value == "val"
+
+    def test_write_timeout_validation(self):
+        dep = Deployment(n_replicas=3, seed=0)
+        with pytest.raises(ValueError):
+            PrimaryCopy(dep, write_timeout=0)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.replication.deployment import Deployment
+from repro.sim.core import Environment
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(12345)
+
+
+@pytest.fixture
+def deployment() -> Deployment:
+    """A small default cluster (3 replicas, seed 0, LAN)."""
+    return Deployment(n_replicas=3, seed=0)
+
+
+@pytest.fixture
+def deployment5() -> Deployment:
+    """The paper's 5-replica cluster."""
+    return Deployment(n_replicas=5, seed=0)

@@ -1,0 +1,118 @@
+"""Unit tests for the agent's Locking Table."""
+
+from repro.agents.identity import AgentId
+from repro.core.locking_table import LockingTable
+from repro.replication.server import SharedView
+
+
+def aid(n: int) -> AgentId:
+    return AgentId("h", float(n), 0)
+
+
+def view(host: str, as_of: float, queued=(), updated=(), versions=None):
+    return SharedView(
+        host=host,
+        as_of=as_of,
+        view=tuple(queued),
+        updated=frozenset(updated),
+        versions=dict(versions or {}),
+    )
+
+
+class TestIngestion:
+    def test_update_adopts_new_host(self):
+        table = LockingTable()
+        assert table.update(view("s1", 1.0, [aid(1)]))
+        assert table.known_hosts == ["s1"]
+
+    def test_update_keeps_freshest(self):
+        table = LockingTable()
+        table.update(view("s1", 2.0, [aid(1)]))
+        assert not table.update(view("s1", 1.0, [aid(2)]))
+        assert table.view_of("s1").view == (aid(1),)
+
+    def test_stale_view_still_feeds_ual(self):
+        table = LockingTable()
+        table.update(view("s1", 2.0, [aid(1)]))
+        table.update(view("s1", 1.0, updated=[aid(9)]))
+        assert aid(9) in table.ual
+
+    def test_stale_view_still_feeds_max_versions(self):
+        table = LockingTable()
+        table.update(view("s1", 2.0, versions={"x": 1}))
+        table.update(view("s1", 1.0, versions={"x": 5}))
+        assert table.version_ceiling("x") == 5
+
+    def test_merge_bulletin_counts_adoptions(self):
+        table = LockingTable()
+        table.update(view("s1", 5.0))
+        adopted = table.merge_bulletin({
+            "s1": view("s1", 1.0),          # stale
+            "s2": view("s2", 1.0),          # new
+        })
+        assert adopted == 1
+
+
+class TestTops:
+    def test_effective_top_skips_finished_agents(self):
+        table = LockingTable()
+        table.update(view("s1", 1.0, [aid(1), aid(2)]))
+        table.update(view("s2", 1.0, updated=[aid(1)]))
+        assert table.effective_top("s1") == aid(2)
+
+    def test_effective_top_empty_list_is_none(self):
+        table = LockingTable()
+        table.update(view("s1", 1.0, []))
+        assert table.effective_top("s1") is None
+
+    def test_effective_top_unknown_host_is_none(self):
+        assert LockingTable().effective_top("ghost") is None
+
+    def test_effective_top_all_finished_is_none(self):
+        table = LockingTable()
+        table.update(view("s1", 1.0, [aid(1)], updated=[aid(1)]))
+        assert table.effective_top("s1") is None
+
+    def test_top_counts(self):
+        table = LockingTable()
+        table.update(view("s1", 1.0, [aid(1)]))
+        table.update(view("s2", 1.0, [aid(1)]))
+        table.update(view("s3", 1.0, [aid(2)]))
+        counts = table.top_counts()
+        assert counts[aid(1)] == 2
+        assert counts[aid(2)] == 1
+
+    def test_tops_map(self):
+        table = LockingTable()
+        table.update(view("s1", 1.0, [aid(1)]))
+        table.update(view("s2", 1.0, []))
+        assert table.tops() == {"s1": aid(1), "s2": None}
+
+
+class TestVersionsAndSharing:
+    def test_version_ceiling_monotone_max(self):
+        table = LockingTable()
+        table.update(view("s1", 1.0, versions={"x": 2}))
+        table.update(view("s2", 1.0, versions={"x": 7, "y": 1}))
+        assert table.version_ceiling("x") == 7
+        assert table.version_ceiling("y") == 1
+        assert table.version_ceiling("missing") == 0
+
+    def test_version_ceiling_includes_quorum_hosts(self):
+        table = LockingTable()
+        table.update(view("s1", 1.0, versions={"x": 3}))
+        assert table.version_ceiling("x", hosts=["s1"]) == 3
+
+    def test_shareable_views_excludes_current_host(self):
+        table = LockingTable()
+        table.update(view("s1", 1.0))
+        table.update(view("s2", 1.0))
+        shared = table.shareable_views("s1")
+        assert set(shared) == {"s2"}
+
+    def test_wire_size_grows_with_content(self):
+        table = LockingTable()
+        empty = table.wire_size()
+        table.update(view("s1", 1.0, [aid(n) for n in range(10)],
+                          versions={"x": 1}))
+        assert table.wire_size() > empty

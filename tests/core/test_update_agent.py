@@ -1,0 +1,182 @@
+"""Behavioural tests for the update agent (Algorithm 1)."""
+
+import pytest
+
+from repro.core.config import MARPConfig
+from repro.core.protocol import MARP
+from repro.net.faults import CrashSchedule, FaultPlan
+from repro.replication.deployment import Deployment
+
+
+class TestSingleUpdate:
+    def test_commits_at_all_replicas(self, deployment5):
+        marp = MARP(deployment5)
+        record = marp.submit_write("s1", "x", 42)
+        deployment5.run(until=100_000)
+        assert record.status == "committed"
+        for host in deployment5.hosts:
+            assert deployment5.server(host).store.read("x").value == 42
+
+    def test_uncontended_visits_exactly_majority(self, deployment5):
+        marp = MARP(deployment5)
+        record = marp.submit_write("s1", "x", 1)
+        deployment5.run(until=100_000)
+        assert record.visits_to_lock == 3  # ceil((5+1)/2)
+
+    def test_timeline_fields_populated(self, deployment5):
+        marp = MARP(deployment5)
+        record = marp.submit_write("s2", "x", 1)
+        deployment5.run(until=100_000)
+        assert record.dispatched_at is not None
+        assert record.lock_acquired_at >= record.dispatched_at
+        assert record.completed_at > record.lock_acquired_at
+        assert record.agent_id is not None
+        assert record.extra["win_reason"] == "majority"
+
+    def test_versions_increment_across_updates(self, deployment5):
+        marp = MARP(deployment5)
+        marp.submit_write("s1", "x", "first")
+        deployment5.run(until=50_000)
+        marp.submit_write("s2", "x", "second")
+        deployment5.run(until=100_000)
+        server = deployment5.server("s3")
+        assert server.store.read("x").version == 2
+        assert server.store.read("x").value == "second"
+
+    def test_distinct_keys_version_independently(self, deployment5):
+        marp = MARP(deployment5)
+        marp.submit_write("s1", "a", 1)
+        marp.submit_write("s2", "b", 2)
+        deployment5.run(until=100_000)
+        server = deployment5.server("s1")
+        assert server.store.read("a").version == 1
+        assert server.store.read("b").version == 1
+
+    def test_agent_disposed_after_commit(self, deployment5):
+        marp = MARP(deployment5)
+        marp.submit_write("s1", "x", 1)
+        deployment5.run(until=100_000)
+        assert marp.live_agents() == []
+        assert marp.total_agent_hops() >= 2
+
+    def test_empty_batch_rejected(self, deployment5):
+        from repro.agents.identity import AgentId
+        from repro.core.update_agent import UpdateAgent
+
+        marp = MARP(deployment5)
+        with pytest.raises(ValueError):
+            UpdateAgent(AgentId("s1", 0.0, 0), marp, [])
+
+
+class TestContention:
+    def test_concurrent_writes_all_commit(self, deployment5):
+        marp = MARP(deployment5)
+        records = [
+            marp.submit_write(host, "x", index)
+            for index, host in enumerate(deployment5.hosts)
+        ]
+        deployment5.run(until=500_000)
+        assert all(r.status == "committed" for r in records)
+
+    def test_concurrent_writes_single_total_order(self, deployment5):
+        marp = MARP(deployment5)
+        for index, host in enumerate(deployment5.hosts):
+            marp.submit_write(host, "x", index)
+        deployment5.run(until=500_000)
+        identities = {
+            tuple(deployment5.server(h).history.identities())
+            for h in deployment5.hosts
+        }
+        assert len(identities) == 1
+        versions = [v for _r, _k, v in next(iter(identities))]
+        assert versions == [1, 2, 3, 4, 5]
+
+    def test_visit_bounds_respected_under_contention(self, deployment5):
+        marp = MARP(deployment5)
+        for index, host in enumerate(deployment5.hosts * 2):
+            marp.submit_write(host, "x", index)
+        deployment5.run(until=1_000_000)
+        for record in marp.completed_writes():
+            assert 3 <= record.visits_to_lock <= 5
+
+
+class TestFailures:
+    def test_commits_with_minority_down(self):
+        faults = FaultPlan(crashes=CrashSchedule().add("s5", 0, 1_000_000))
+        dep = Deployment(n_replicas=5, seed=0, faults=faults)
+        marp = MARP(dep)
+        record = marp.submit_write("s1", "x", 1)
+        dep.run(until=1_000_000)
+        assert record.status == "committed"
+        for host in ("s1", "s2", "s3", "s4"):
+            assert dep.server(host).store.read("x").value == 1
+
+    def test_crashed_replica_catches_up_after_recovery(self):
+        faults = FaultPlan(crashes=CrashSchedule().add("s3", 0, 5_000))
+        dep = Deployment(n_replicas=5, seed=0, faults=faults)
+        marp = MARP(dep)
+        record = marp.submit_write("s1", "x", "while-down")
+        dep.run(until=100_000)
+        assert record.status == "committed"
+        assert dep.server("s3").store.read("x").value == "while-down"
+
+
+class TestReadPaths:
+    def test_local_read_returns_committed_value(self, deployment5):
+        marp = MARP(deployment5)
+        marp.submit_write("s1", "x", 5)
+        deployment5.run(until=50_000)
+        record = marp.submit_read("s2", "x")
+        deployment5.run(until=60_000)
+        assert record.status == "read-done"
+        assert record.value == 5
+        assert record.extra["read_strategy"] == "local"
+
+    def test_local_read_of_missing_key(self, deployment5):
+        marp = MARP(deployment5)
+        record = marp.submit_read("s1", "ghost")
+        deployment5.run(until=10_000)
+        assert record.status == "read-done"
+        assert record.value is None
+
+    def test_quorum_read_sees_majority_freshness(self, deployment5):
+        config = MARPConfig(read_strategy="quorum")
+        marp = MARP(deployment5, config=config)
+        marp.submit_write("s1", "x", "committed")
+        deployment5.run(until=50_000)
+        record = marp.submit_read("s2", "x")
+        deployment5.run(until=60_000)
+        assert record.status == "read-done"
+        assert record.value == "committed"
+        assert record.extra["read_strategy"] == "quorum"
+        assert record.extra["replies"] >= 3
+
+
+class TestBatching:
+    def test_batched_writes_share_one_agent(self, deployment5):
+        config = MARPConfig(batch_size=3)
+        marp = MARP(deployment5, config=config)
+        records = [marp.submit_write("s1", "x", i) for i in range(3)]
+        deployment5.run(until=100_000)
+        assert all(r.status == "committed" for r in records)
+        assert len(marp.agents) == 1
+        assert len({r.agent_id for r in records}) == 1
+
+    def test_partial_batch_flushed_by_timer(self, deployment5):
+        config = MARPConfig(batch_size=4, batch_flush_interval=50.0)
+        marp = MARP(deployment5, config=config)
+        record = marp.submit_write("s1", "x", 1)
+        deployment5.run(until=100_000)
+        assert record.status == "committed"
+        assert marp.batcher.timer_flushes == 1
+
+    def test_batched_versions_sequential(self, deployment5):
+        config = MARPConfig(batch_size=2)
+        marp = MARP(deployment5, config=config)
+        marp.submit_write("s1", "x", "a")
+        marp.submit_write("s1", "x", "b")
+        deployment5.run(until=100_000)
+        server = deployment5.server("s4")
+        assert server.store.read("x").version == 2
+        assert server.store.read("x").value == "b"
+        assert [v for _r, _k, v in server.history.identities()] == [1, 2]

@@ -1,0 +1,75 @@
+"""Tests for the CLI entry point (tiny fast settings)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_commands_accepted(self):
+        parser = build_parser()
+        for command in (
+            "fig2", "fig3", "fig4", "compare", "wan", "theorems",
+            "ablations", "live", "all",
+        ):
+            assert parser.parse_args([command]).command == command
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.repeats == 2
+        assert args.requests == 20
+        assert args.seed == 0
+        assert not args.quick
+        assert args.format == "text"
+
+    def test_options(self):
+        args = build_parser().parse_args(
+            ["fig4", "--quick", "--seed", "9", "--requests", "5",
+             "--format", "json"]
+        )
+        assert args.quick
+        assert args.seed == 9
+        assert args.requests == 5
+        assert args.format == "json"
+
+
+class TestExecution:
+    def test_fig4_quick_text(self, capsys):
+        code = main(["fig4", "--quick", "--requests", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "K=3" in out
+
+    def test_fig4_quick_json(self, capsys):
+        main(["fig4", "--quick", "--requests", "4", "--format", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert "series" in data
+        assert set(data["series"]) == {"K=3", "K=4", "K=5"}
+
+    def test_fig2_quick_csv(self, capsys):
+        main(["fig2", "--quick", "--requests", "4", "--format", "csv"])
+        out = capsys.readouterr().out
+        header = out.splitlines()[0]
+        assert header.startswith("mean inter-arrival")
+        assert "3 servers" in header
+
+    def test_theorems_quick(self, capsys):
+        code = main(["theorems", "--quick", "--requests", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3 (N=3)" in out
+        assert "HOLDS" in out
+
+    def test_live_quick(self, capsys):
+        code = main(["live", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "committed 6/6" in out
+        assert "consistent=True" in out

@@ -1,0 +1,174 @@
+"""Tests for the experiment harness (small, fast configurations)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.ablations import theorem3_bounds
+from repro.experiments.common import latency_sweep
+from repro.experiments.fig2_alt import project_fig2
+from repro.experiments.fig3_att import project_fig3
+from repro.experiments.fig4_prk import run_fig4
+from repro.experiments.runner import RunConfig, build_protocol, run_once, run_repeats
+from repro.experiments.sweeps import sweep
+from repro.experiments.table_comparison import run_comparison
+from repro.replication.deployment import Deployment
+
+FAST = dict(requests_per_client=5, mean_interarrival=60.0)
+
+
+class TestRunner:
+    def test_run_once_marp(self):
+        result = run_once(RunConfig(n_replicas=3, seed=0, **FAST))
+        assert result.protocol_name == "marp"
+        assert result.committed == 15
+        assert result.failed == 0
+        assert result.alt > 0
+        assert result.att >= result.alt
+        assert result.audit.consistent
+        assert result.agent_migrations > 0
+
+    def test_run_once_baseline(self):
+        result = run_once(
+            RunConfig(protocol="mcv", n_replicas=3, seed=0, **FAST)
+        )
+        assert result.protocol_name == "mcv"
+        assert result.committed == 15
+        assert result.agent_migrations == 0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_once(RunConfig(protocol="carrier-pigeon", **FAST))
+
+    def test_unknown_latency_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_once(RunConfig(latency="quantum", **FAST))
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_once(RunConfig(topology="donut", **FAST))
+
+    def test_random_costs_topology(self):
+        result = run_once(
+            RunConfig(n_replicas=3, topology="random-costs", seed=1, **FAST)
+        )
+        assert result.committed == 15
+
+    def test_wan_slower_than_lan(self):
+        lan = run_once(RunConfig(n_replicas=3, seed=0, **FAST))
+        wan = run_once(
+            RunConfig(n_replicas=3, seed=0, latency="wan", **FAST)
+        )
+        assert wan.att > 2 * lan.att
+
+    def test_with_copies(self):
+        config = RunConfig(seed=1)
+        changed = config.with_(seed=9, n_replicas=4)
+        assert changed.seed == 9
+        assert changed.n_replicas == 4
+        assert config.seed == 1  # original untouched
+
+    def test_run_repeats_distinct_seeds(self):
+        results = run_repeats(RunConfig(n_replicas=3, **FAST), repeats=2)
+        assert len(results) == 2
+        assert results[0].config.seed != results[1].config.seed
+
+    def test_run_repeats_validation(self):
+        with pytest.raises(ExperimentError):
+            run_repeats(RunConfig(), repeats=0)
+
+    def test_build_protocol_passes_kwargs(self):
+        dep = Deployment(n_replicas=3)
+        protocol = build_protocol(
+            dep,
+            RunConfig(protocol="primary-copy",
+                      protocol_kwargs={"primary": "s2"}),
+        )
+        assert protocol.primary == "s2"
+
+
+class TestSweeps:
+    def test_sweep_runs_each_value(self):
+        base = RunConfig(n_replicas=3, requests_per_client=4)
+        points = sweep(base, "mean_interarrival", [40.0, 120.0], repeats=1)
+        assert [p.x for p in points] == [40.0, 120.0]
+        assert all(len(p.results) == 1 for p in points)
+
+    def test_point_metric_aggregation(self):
+        base = RunConfig(n_replicas=3, requests_per_client=4)
+        points = sweep(base, "mean_interarrival", [80.0], repeats=2)
+        summary = points[0].metric(lambda r: float(r.committed))
+        assert summary.n == 2
+        assert summary.mean == 12.0
+
+    def test_all_consistent(self):
+        base = RunConfig(n_replicas=3, requests_per_client=4)
+        points = sweep(base, "mean_interarrival", [80.0], repeats=1)
+        assert points[0].all_consistent()
+
+
+class TestFigures:
+    @pytest.fixture(scope="class")
+    def small_sweep(self):
+        return latency_sweep(
+            server_counts=(3,),
+            interarrivals=(30.0, 120.0),
+            requests_per_client=6,
+            repeats=1,
+        )
+
+    def test_fig2_shape(self, small_sweep):
+        figure = project_fig2(small_sweep)
+        series = figure.series["3 servers"]
+        assert len(series) == 2
+        assert series[0] > series[1]  # contention raises ALT
+        assert figure.all_consistent
+        assert "Figure 2" in figure.text
+
+    def test_fig3_dominates_fig2(self, small_sweep):
+        alt_series = project_fig2(small_sweep).series["3 servers"]
+        att_series = project_fig3(small_sweep).series["3 servers"]
+        assert all(a <= t for a, t in zip(alt_series, att_series))
+
+    def test_fig4_mass_shifts_with_rate(self):
+        figure = run_fig4(
+            interarrivals=(15.0, 150.0), requests_per_client=8, repeats=1,
+        )
+        k3, k5 = figure.series["K=3"], figure.series["K=5"]
+        assert k5[0] > k5[1]  # high rate -> more full tours
+        assert k3[1] > k3[0]  # low rate -> more minimum tours
+        for idx in range(2):
+            total = sum(figure.series[f"K={k}"][idx] for k in (3, 4, 5))
+            assert total == pytest.approx(100.0)
+
+
+class TestComparisonAndTheorems:
+    def test_comparison_rows(self):
+        table = run_comparison(
+            protocols=("marp", "primary-copy"),
+            mean_interarrival=80.0,
+            requests_per_client=4,
+            repeats=1,
+        )
+        assert len(table.rows) == 2
+        marp_row = table.row_for("marp")
+        assert marp_row.agent_migrations > 0
+        pc_row = table.row_for("primary-copy")
+        assert pc_row.agent_migrations == 0
+        assert "protocol" in table.text
+
+    def test_row_for_missing_raises(self):
+        table = run_comparison(
+            protocols=("marp",), requests_per_client=3, repeats=1,
+        )
+        with pytest.raises(KeyError):
+            table.row_for("mcv")
+
+    def test_theorem3_bounds_hold(self):
+        report = theorem3_bounds(
+            n_replicas=3, requests_per_client=6, repeats=1,
+            mean_interarrival=40.0,
+        )
+        assert report.holds
+        assert report.lower_bound == 2
+        assert report.upper_bound == 3
+        assert "HOLDS" in report.text

@@ -1,0 +1,112 @@
+"""Failure-injection integration tests: crashes, recovery, link faults."""
+
+from repro.analysis.consistency import audit
+from repro.core.protocol import MARP
+from repro.net.faults import CrashSchedule, FaultPlan, TransientLinkFaults
+from repro.replication.client import attach_clients
+from repro.replication.deployment import Deployment
+from repro.workload.arrivals import ExponentialArrivals
+from repro.workload.mix import OperationMix
+
+
+class TestCrashRecovery:
+    def test_minority_crash_during_workload(self):
+        faults = FaultPlan(
+            crashes=CrashSchedule().add("s4", 100, 3_000).add("s5", 200, 2_000)
+        )
+        dep = Deployment(n_replicas=5, seed=31, faults=faults)
+        marp = MARP(dep)
+        attach_clients(
+            marp, ExponentialArrivals(80.0), OperationMix(1.0),
+            max_requests_per_client=8,
+        )
+        dep.run(until=5_000_000)
+        committed = [r for r in marp.records if r.status == "committed"]
+        assert len(committed) == 40  # all eventually commit
+        report = audit(dep)
+        assert report.consistent  # recovery sync restored the crashed pair
+
+    def test_repeated_crash_windows(self):
+        crashes = CrashSchedule()
+        crashes.add("s3", 100, 600)
+        crashes.add("s3", 1_500, 2_000)
+        dep = Deployment(n_replicas=3, seed=32,
+                         faults=FaultPlan(crashes=crashes))
+        marp = MARP(dep)
+        attach_clients(
+            marp, ExponentialArrivals(150.0), OperationMix(1.0),
+            max_requests_per_client=6,
+        )
+        dep.run(until=5_000_000)
+        assert marp.open_requests() == 0
+        assert dep.server("s3").recoveries == 2
+        assert audit(dep).consistent
+
+    def test_agent_declares_crashed_replica_unavailable(self):
+        faults = FaultPlan(
+            crashes=CrashSchedule().add("s2", 0, 1_000_000)
+        )
+        dep = Deployment(n_replicas=3, seed=33, faults=faults)
+        marp = MARP(dep)
+        record = marp.submit_write("s1", "x", 1)
+        dep.run(until=1_000_000)
+        # With s2 down, the agent needs s1 + s3 = the full live majority.
+        assert record.status == "committed"
+        assert dep.platform("s1").migrations_failed > 0
+
+
+class TestLinkFaults:
+    def test_lossy_links_do_not_break_consistency(self):
+        faults = FaultPlan(links=TransientLinkFaults(drop_probability=0.05))
+        dep = Deployment(n_replicas=5, seed=34, faults=faults)
+        marp = MARP(dep)
+        attach_clients(
+            marp, ExponentialArrivals(120.0), OperationMix(1.0),
+            max_requests_per_client=5,
+        )
+        dep.run(until=10_000_000)
+        committed = [r for r in marp.records if r.status == "committed"]
+        assert len(committed) >= 20  # most commit despite drops
+        report = audit(dep)
+        assert report.divergence_free
+        assert report.monotone
+
+    def test_temporary_link_outage_heals(self):
+        links = TransientLinkFaults().add_outage("s1", "s2", 0, 500)
+        dep = Deployment(n_replicas=3, seed=35,
+                         faults=FaultPlan(links=links))
+        marp = MARP(dep)
+        record = marp.submit_write("s1", "x", 1)
+        dep.run(until=1_000_000)
+        assert record.status == "committed"
+        assert audit(dep).consistent
+
+
+class TestBaselineFailures:
+    def test_mcv_commits_with_minority_down(self):
+        from repro.baselines.mcv import MajorityConsensusVoting
+
+        faults = FaultPlan(
+            crashes=CrashSchedule().add("s5", 0, 10_000_000)
+        )
+        dep = Deployment(n_replicas=5, seed=36, faults=faults)
+        mcv = MajorityConsensusVoting(dep)
+        record = mcv.submit_write("s1", "x", 1)
+        dep.run(until=10_000_000)
+        assert record.status == "committed"
+
+    def test_marp_stalls_without_majority_then_recovers(self):
+        # 3 of 5 replicas down: no majority can be locked. After they
+        # recover, the pending agent finishes.
+        crashes = CrashSchedule()
+        for host in ("s3", "s4", "s5"):
+            crashes.add(host, 0, 20_000)
+        dep = Deployment(n_replicas=5, seed=37,
+                         faults=FaultPlan(crashes=crashes))
+        marp = MARP(dep)
+        record = marp.submit_write("s1", "x", 1)
+        dep.run(until=15_000)
+        assert record.status == "pending"  # stalled, as it must be
+        dep.run(until=5_000_000)
+        assert record.status == "committed"
+        assert record.completed_at > 20_000

@@ -1,0 +1,128 @@
+"""Unit tests for the latency models."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.latency import (
+    BandwidthLatency,
+    ConstantLatency,
+    EmpiricalLatency,
+    ExponentialLatency,
+    LogNormalLatency,
+    PairwiseLatency,
+    ScaledLatency,
+    UniformLatency,
+    lan_profile,
+    wan_profile,
+)
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def stream():
+    return RandomStreams(1).stream("latency-tests")
+
+
+class TestModels:
+    def test_constant(self, stream):
+        model = ConstantLatency(5.0)
+        assert model.sample("a", "b", 100, stream) == 5.0
+
+    def test_constant_negative_rejected(self):
+        with pytest.raises(NetworkError):
+            ConstantLatency(-1)
+
+    def test_uniform_in_range(self, stream):
+        model = UniformLatency(1.0, 3.0)
+        for _ in range(100):
+            assert 1.0 <= model.sample("a", "b", 0, stream) <= 3.0
+
+    def test_uniform_invalid_range(self):
+        with pytest.raises(NetworkError):
+            UniformLatency(3.0, 1.0)
+
+    def test_exponential_above_minimum(self, stream):
+        model = ExponentialLatency(mean=2.0, minimum=1.0)
+        for _ in range(100):
+            assert model.sample("a", "b", 0, stream) >= 1.0
+
+    def test_exponential_invalid(self):
+        with pytest.raises(NetworkError):
+            ExponentialLatency(mean=-1)
+
+    def test_lognormal_positive(self, stream):
+        model = LogNormalLatency(median=40.0, sigma=0.5, minimum=5.0)
+        for _ in range(100):
+            assert model.sample("a", "b", 0, stream) >= 5.0
+
+    def test_lognormal_invalid(self):
+        with pytest.raises(NetworkError):
+            LogNormalLatency(median=0)
+
+    def test_bandwidth_scales_with_size(self, stream):
+        model = BandwidthLatency(100.0)  # 100 B/ms
+        assert model.sample("a", "b", 1000, stream) == 10.0
+        assert model.sample("a", "b", 0, stream) == 0.0
+
+    def test_bandwidth_invalid(self):
+        with pytest.raises(NetworkError):
+            BandwidthLatency(0)
+
+
+class TestEmpirical:
+    def test_samples_only_from_trace(self, stream):
+        model = EmpiricalLatency([5.0, 10.0, 15.0])
+        draws = {model.sample("a", "b", 0, stream) for _ in range(200)}
+        assert draws == {5.0, 10.0, 15.0}
+
+    def test_distribution_reproduced(self, stream):
+        # heavily skewed trace: 90% fast, 10% slow
+        trace = [1.0] * 90 + [100.0] * 10
+        model = EmpiricalLatency(trace)
+        draws = [model.sample("a", "b", 0, stream) for _ in range(2000)]
+        slow_rate = sum(1 for d in draws if d == 100.0) / len(draws)
+        assert 0.05 < slow_rate < 0.15
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(NetworkError):
+            EmpiricalLatency([])
+
+    def test_invalid_samples_rejected(self):
+        with pytest.raises(NetworkError):
+            EmpiricalLatency([1.0, -2.0])
+        with pytest.raises(NetworkError):
+            EmpiricalLatency([float("nan")])
+
+
+class TestComposition:
+    def test_sum_adds_components(self, stream):
+        model = ConstantLatency(2.0) + BandwidthLatency(10.0)
+        assert model.sample("a", "b", 100, stream) == 2.0 + 10.0
+
+    def test_scaled_multiplies(self, stream):
+        model = ScaledLatency(ConstantLatency(4.0), lambda s, d: 2.5)
+        assert model.sample("a", "b", 0, stream) == 10.0
+
+    def test_pairwise_override(self, stream):
+        model = PairwiseLatency(ConstantLatency(1.0))
+        model.set("a", "b", ConstantLatency(9.0))
+        assert model.sample("a", "b", 0, stream) == 9.0
+        assert model.sample("b", "a", 0, stream) == 1.0
+
+
+class TestProfiles:
+    def test_lan_profile_small_delays(self, stream):
+        model = lan_profile()
+        draws = [model.sample("a", "b", 2048, stream) for _ in range(200)]
+        assert all(1.0 <= d <= 3.5 for d in draws)
+
+    def test_wan_profile_much_slower_than_lan(self, stream):
+        lan = lan_profile()
+        wan = wan_profile()
+        lan_mean = sum(lan.sample("a", "b", 256, stream) for _ in range(300)) / 300
+        wan_mean = sum(wan.sample("a", "b", 256, stream) for _ in range(300)) / 300
+        assert wan_mean > 5 * lan_mean
+
+    def test_wan_profile_has_minimum(self, stream):
+        wan = wan_profile()
+        assert all(wan.sample("a", "b", 0, stream) >= 5.0 for _ in range(100))

@@ -1,0 +1,73 @@
+"""Unit tests for message size accounting."""
+
+from dataclasses import dataclass
+
+from repro.net.message import HEADER_BYTES, Message, estimate_size
+
+
+class TestEstimateSize:
+    def test_none_is_zero(self):
+        assert estimate_size(None) == 0
+
+    def test_bool_is_one(self):
+        assert estimate_size(True) == 1
+
+    def test_numbers_are_eight(self):
+        assert estimate_size(7) == 8
+        assert estimate_size(3.14) == 8
+
+    def test_string_utf8_length(self):
+        assert estimate_size("abc") == 3
+        assert estimate_size("é") == 2
+
+    def test_bytes_length(self):
+        assert estimate_size(b"\x00" * 10) == 10
+
+    def test_dict_recursive(self):
+        assert estimate_size({"a": 1}) == 16 + 1 + 8
+
+    def test_list_recursive(self):
+        assert estimate_size([1, 2]) == 16 + 16
+
+    def test_wire_size_hook_preferred(self):
+        class Sized:
+            def wire_size(self):
+                return 12345
+
+        assert estimate_size(Sized()) == 12345
+
+    def test_object_with_dict_counts_public_attrs(self):
+        @dataclass
+        class Payload:
+            value: int
+            _private: int = 0
+
+        assert estimate_size(Payload(value=1)) == 16 + 8
+
+    def test_opaque_object_fallback(self):
+        class Slotless:
+            __slots__ = ()
+
+        assert estimate_size(Slotless()) == 16
+
+
+class TestMessage:
+    def test_size_defaults_to_header_plus_payload(self):
+        msg = Message(src="a", dst="b", kind="PING", payload="xy")
+        assert msg.size_bytes == HEADER_BYTES + 2
+
+    def test_explicit_size_kept(self):
+        msg = Message(src="a", dst="b", kind="PING", size_bytes=512)
+        assert msg.size_bytes == 512
+
+    def test_ids_are_unique_and_increasing(self):
+        first = Message(src="a", dst="b", kind="X")
+        second = Message(src="a", dst="b", kind="X")
+        assert second.msg_id > first.msg_id
+
+    def test_default_category(self):
+        assert Message(src="a", dst="b", kind="X").category == "control"
+
+    def test_repr_mentions_route(self):
+        msg = Message(src="s1", dst="s2", kind="ACK")
+        assert "s1->s2" in repr(msg)

@@ -1,0 +1,48 @@
+"""Unit tests for network traffic accounting."""
+
+from repro.net.stats import NetworkStats
+
+
+class TestNetworkStats:
+    def test_record_send_counts(self):
+        stats = NetworkStats()
+        stats.record_send("control", "ACK", 100)
+        stats.record_send("control", "ACK", 50)
+        stats.record_send("agent", "AGENT", 2048)
+        assert stats.total_messages() == 3
+        assert stats.total_messages("control") == 2
+        assert stats.total_bytes("control") == 150
+        assert stats.total_bytes("agent") == 2048
+
+    def test_dropped_counter(self):
+        stats = NetworkStats()
+        stats.record_drop("control", "ACK")
+        stats.record_drop("agent", "AGENT")
+        assert stats.total_dropped() == 2
+
+    def test_by_kind_aggregates_categories(self):
+        stats = NetworkStats()
+        stats.record_send("control", "X", 10)
+        stats.record_send("data", "X", 30)
+        assert stats.by_kind()["X"] == (2, 40)
+
+    def test_merge(self):
+        a = NetworkStats()
+        a.record_send("control", "ACK", 10)
+        b = NetworkStats()
+        b.record_send("control", "ACK", 20)
+        a.merge(b)
+        assert a.total_bytes("control") == 30
+
+    def test_rows_sorted(self):
+        stats = NetworkStats()
+        stats.record_send("control", "Z", 1)
+        stats.record_send("agent", "A", 2)
+        rows = stats.rows()
+        assert rows == [("agent", "A", 1, 2), ("control", "Z", 1, 1)]
+
+    def test_clear(self):
+        stats = NetworkStats()
+        stats.record_send("control", "X", 10)
+        stats.clear()
+        assert stats.total_messages() == 0

@@ -1,0 +1,116 @@
+"""Unit tests for the topology substrate."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import HostUnreachable, NetworkError
+from repro.net.topology import Topology
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def stream():
+    return RandomStreams(3).stream("topo")
+
+
+class TestConstruction:
+    def test_full_mesh_edges(self):
+        topo = Topology.full_mesh(["a", "b", "c"])
+        assert topo.graph.number_of_edges() == 3
+        assert topo.cost("a", "b") == 1.0
+
+    def test_full_mesh_jitter_requires_stream(self):
+        with pytest.raises(NetworkError):
+            Topology.full_mesh(["a", "b"], jitter=0.5)
+
+    def test_full_mesh_jitter(self, stream):
+        topo = Topology.full_mesh(["a", "b", "c"], cost=2.0, jitter=0.5,
+                                  stream=stream)
+        costs = [d["cost"] for _u, _v, d in topo.graph.edges(data=True)]
+        assert all(1.5 <= c <= 2.5 for c in costs)
+
+    def test_star(self):
+        topo = Topology.star("hub", ["l1", "l2"], cost=2.0)
+        assert topo.cost("l1", "l2") == 4.0  # via the hub
+
+    def test_ring(self):
+        topo = Topology.ring(["a", "b", "c", "d"])
+        assert topo.cost("a", "c") == 2.0  # two hops around
+
+    def test_ring_too_small(self):
+        with pytest.raises(NetworkError):
+            Topology.ring(["a", "b"])
+
+    def test_random_costs_in_range(self, stream):
+        topo = Topology.random_costs(["a", "b", "c"], stream, low=0.5, high=2.0)
+        costs = [d["cost"] for _u, _v, d in topo.graph.edges(data=True)]
+        assert all(0.5 <= c <= 2.0 for c in costs)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(NetworkError):
+            Topology(nx.Graph())
+
+    def test_nonpositive_cost_rejected(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", cost=0)
+        with pytest.raises(NetworkError):
+            Topology(graph)
+
+
+class TestRouting:
+    def test_routing_table_contains_all_reachable(self):
+        topo = Topology.full_mesh(["a", "b", "c"])
+        table = topo.routing_table("a")
+        assert set(table) == {"a", "b", "c"}
+        assert table["a"] == 0.0
+
+    def test_routing_table_unknown_host(self):
+        topo = Topology.full_mesh(["a", "b"])
+        with pytest.raises(HostUnreachable):
+            topo.routing_table("zz")
+
+    def test_cost_shortest_path(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", cost=10.0)
+        graph.add_edge("a", "c", cost=1.0)
+        graph.add_edge("c", "b", cost=1.0)
+        topo = Topology(graph)
+        assert topo.cost("a", "b") == 2.0  # via c
+
+    def test_cost_unreachable(self):
+        graph = nx.Graph()
+        graph.add_node("island")
+        graph.add_edge("a", "b", cost=1.0)
+        topo = Topology(graph)
+        with pytest.raises(HostUnreachable):
+            topo.cost("a", "island")
+
+    def test_neighbors_by_cost_sorted(self):
+        graph = nx.Graph()
+        graph.add_edge("src", "near", cost=1.0)
+        graph.add_edge("src", "far", cost=5.0)
+        graph.add_edge("src", "mid", cost=2.0)
+        topo = Topology(graph)
+        assert topo.neighbors_by_cost("src", ["far", "near", "mid"]) == [
+            "near", "mid", "far",
+        ]
+
+    def test_neighbors_by_cost_deterministic_ties(self):
+        topo = Topology.full_mesh(["a", "b", "c", "d"])
+        assert topo.neighbors_by_cost("a", ["d", "c", "b"]) == ["b", "c", "d"]
+
+    def test_contains(self):
+        topo = Topology.full_mesh(["a", "b"])
+        assert "a" in topo
+        assert "zz" not in topo
+
+    def test_invalidate_routes_recomputes(self):
+        topo = Topology.full_mesh(["a", "b"], cost=1.0)
+        assert topo.cost("a", "b") == 1.0
+        topo.graph["a"]["b"]["cost"] = 3.0
+        topo.invalidate_routes()
+        assert topo.cost("a", "b") == 3.0
+
+    def test_hosts_property(self):
+        topo = Topology.full_mesh(["b", "a"])
+        assert sorted(topo.hosts) == ["a", "b"]

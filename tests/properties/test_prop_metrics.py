@@ -1,0 +1,89 @@
+"""Property tests for metric computation and stream reproducibility."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import alt, att, prk
+from repro.analysis.stats import summarize
+from repro.replication.requests import WRITE, RequestRecord
+from repro.sim.rng import RandomStreams
+
+
+@st.composite
+def committed_records(draw):
+    count = draw(st.integers(min_value=0, max_value=30))
+    records = []
+    for index in range(count):
+        dispatched = draw(st.floats(0, 1000, allow_nan=False))
+        lock_delta = draw(st.floats(0, 500, allow_nan=False))
+        commit_delta = draw(st.floats(0, 500, allow_nan=False))
+        visits = draw(st.integers(min_value=3, max_value=5))
+        records.append(
+            RequestRecord(
+                request_id=index,
+                home="s1",
+                op=WRITE,
+                key="x",
+                dispatched_at=dispatched,
+                lock_acquired_at=dispatched + lock_delta,
+                completed_at=dispatched + lock_delta + commit_delta,
+                visits_to_lock=visits,
+                status="committed",
+            )
+        )
+    return records
+
+
+@given(records=committed_records())
+@settings(max_examples=100, deadline=None)
+def test_att_dominates_alt(records):
+    a, t = alt(records), att(records)
+    if records:
+        assert t >= a
+    else:
+        assert math.isnan(a) and math.isnan(t)
+
+
+@given(records=committed_records())
+@settings(max_examples=100, deadline=None)
+def test_prk_is_a_distribution(records):
+    fractions = prk(records, n_replicas=5)
+    assert set(fractions) == {3, 4, 5}
+    assert all(0.0 <= f <= 1.0 for f in fractions.values())
+    if records:
+        assert sum(fractions.values()) == abs(sum(fractions.values()))
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+    else:
+        assert sum(fractions.values()) == 0.0
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_summary_bounds(values):
+    summary = summarize(values)
+    if values:
+        # one ulp of slack: np.mean of identical values may round
+        slack = 1e-9 * max(1.0, abs(summary.maximum), abs(summary.minimum))
+        assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+        assert summary.minimum - slack <= summary.p50 <= summary.maximum + slack
+        assert summary.ci_low <= summary.ci_high + slack
+    else:
+        assert summary.n == 0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    name=st.text(min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_streams_reproducible_for_any_seed_and_name(seed, name):
+    a = RandomStreams(seed).stream(name)
+    b = RandomStreams(seed).stream(name)
+    assert [a.random() for _ in range(3)] == [b.random() for _ in range(3)]

@@ -1,0 +1,103 @@
+"""Property tests for the simulation kernel's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Environment
+from repro.sim.stores import Store
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_timeouts_fire_in_nondecreasing_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(waiter(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.sampled_from([0.0, 1.0, 2.0]), min_size=2, max_size=30
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_equal_time_events_fifo_by_creation(delays):
+    env = Environment()
+    fired = []
+
+    def waiter(env, index, delay):
+        yield env.timeout(delay)
+        fired.append((env.now, index))
+
+    for index, delay in enumerate(delays):
+        env.process(waiter(env, index, delay))
+    env.run()
+    # Among events at the same instant, creation order is preserved.
+    for time_value in set(t for t, _ in fired):
+        indices = [i for t, i in fired if t == time_value]
+        assert indices == sorted(indices)
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=50),
+    consumer_first=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_preserves_fifo(items, consumer_first):
+    env = Environment()
+    store = Store(env)
+    out = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+            yield env.timeout(0.5)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            out.append(value)
+
+    if consumer_first:
+        env.process(consumer(env))
+        env.process(producer(env))
+    else:
+        env.process(producer(env))
+        env.process(consumer(env))
+    env.run()
+    assert out == items
+
+
+@given(
+    structure=st.recursive(
+        st.one_of(st.integers(), st.floats(allow_nan=False), st.text(),
+                  st.booleans(), st.none()),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=5), children, max_size=4),
+        ),
+        max_leaves=20,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_estimate_size_total_and_nonnegative(structure):
+    from repro.net.message import estimate_size
+
+    size = estimate_size(structure)
+    assert isinstance(size, int)
+    assert size >= 0

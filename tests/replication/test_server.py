@@ -1,0 +1,303 @@
+"""Unit tests for the replica server (Algorithm 2)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.agents.identity import AgentId
+from repro.replication.deployment import Deployment
+from repro.replication.server import SharedView, UpdatePayload, WriteOp
+
+
+def aid(n: int) -> AgentId:
+    return AgentId("client", float(n), 0)
+
+
+def payload(agent_n: int, version: int = 1, value="v", epoch: int = 1,
+            reply_to: str = "s1", batch: int = None) -> UpdatePayload:
+    batch_id = batch if batch is not None else agent_n
+    return UpdatePayload(
+        batch_id=batch_id,
+        agent_id=aid(agent_n),
+        origin="s1",
+        writes=(WriteOp(batch_id, "x", value, version),),
+        reply_to=reply_to,
+        epoch=epoch,
+    )
+
+
+@pytest.fixture
+def dep():
+    return Deployment(n_replicas=3, seed=0)
+
+
+class TestLocalInterface:
+    def test_request_lock_appends(self, dep):
+        server = dep.server("s1")
+        server.request_lock(aid(1), 101)
+        assert server.locking_list.top() == aid(1)
+
+    def test_request_lock_idempotent(self, dep):
+        server = dep.server("s1")
+        server.request_lock(aid(1), 101)
+        server.request_lock(aid(1), 101)
+        assert len(server.locking_list) == 1
+
+    def test_request_lock_after_completion_rejected(self, dep):
+        server = dep.server("s1")
+        server.updated_list.add(aid(1))
+        with pytest.raises(ProtocolError):
+            server.request_lock(aid(1), 101)
+
+    def test_lock_view_contents(self, dep):
+        server = dep.server("s1")
+        server.request_lock(aid(1), 101)
+        server.store.apply("x", "v", 3, 0.0)
+        view = server.lock_view()
+        assert view.host == "s1"
+        assert view.view == (aid(1),)
+        assert view.versions == {"x": 3}
+
+    def test_requeue_lock_moves_to_tail(self, dep):
+        server = dep.server("s1")
+        server.request_lock(aid(1), 101)
+        server.request_lock(aid(2), 102)
+        server.requeue_lock(aid(1), 101)
+        assert server.locking_list.view() == (aid(2), aid(1))
+
+    def test_bulletin_keeps_freshest(self, dep):
+        server = dep.server("s1")
+        old = SharedView("s2", 1.0, (), frozenset(), {})
+        new = SharedView("s2", 2.0, (aid(1),), frozenset(), {})
+        assert server.post_bulletin({"s2": old}) == 1
+        assert server.post_bulletin({"s2": new}) == 1
+        assert server.post_bulletin({"s2": old}) == 0
+        assert server.read_bulletin()["s2"].as_of == 2.0
+
+    def test_bulletin_ignores_own_host(self, dep):
+        server = dep.server("s1")
+        own = SharedView("s1", 1.0, (), frozenset(), {})
+        assert server.post_bulletin({"s1": own}) == 0
+
+    def test_bulletin_disabled(self, dep):
+        server = dep.server("s1")
+        server.config.enable_bulletin = False
+        view = SharedView("s2", 1.0, (), frozenset(), {})
+        assert server.post_bulletin({"s2": view}) == 0
+        assert server.read_bulletin() == {}
+
+    def test_wait_release_fires_on_commit(self, dep):
+        server = dep.server("s1")
+        server.request_lock(aid(1), 101)
+        release = server.wait_release()
+        dep.platform("s2").endpoint.send("s1", "COMMIT", payload(1))
+        dep.run(until=100)
+        assert release.triggered
+        assert server.locking_list.top() is None
+
+
+class TestGrantMachinery:
+    def test_update_grants_and_acks_with_versions(self, dep):
+        server = dep.server("s1")
+        server.store.apply("x", "old", 4, 0.0)
+        sender = dep.platform("s2").endpoint
+        received = []
+
+        def listener(env):
+            msg = yield sender.receive(kind="ACK")
+            received.append(msg.payload)
+
+        dep.env.process(listener(dep.env))
+        sender.send("s1", "UPDATE", payload(1, reply_to="s2"))
+        dep.run(until=100)
+        assert received[0]["versions"] == {"x": 4}
+        assert server._grant_holder == aid(1)
+
+    def test_second_agent_nacked_while_granted(self, dep):
+        sender = dep.platform("s2").endpoint
+        kinds = []
+
+        def listener(env):
+            for _ in range(2):
+                msg = yield sender.receive(
+                    match=lambda m: m.kind in ("ACK", "NACK")
+                )
+                kinds.append(msg.kind)
+
+        dep.env.process(listener(dep.env))
+        sender.send("s1", "UPDATE", payload(1, reply_to="s2"))
+        sender.send("s1", "UPDATE", payload(2, reply_to="s2"))
+        dep.run(until=100)
+        assert sorted(kinds) == ["ACK", "NACK"]
+
+    def test_same_agent_reack(self, dep):
+        sender = dep.platform("s2").endpoint
+        kinds = []
+
+        def listener(env):
+            for _ in range(2):
+                msg = yield sender.receive(
+                    match=lambda m: m.kind in ("ACK", "NACK")
+                )
+                kinds.append(msg.kind)
+
+        dep.env.process(listener(dep.env))
+        sender.send("s1", "UPDATE", payload(1, reply_to="s2", epoch=1))
+        sender.send("s1", "UPDATE", payload(1, reply_to="s2", epoch=2))
+        dep.run(until=100)
+        assert kinds == ["ACK", "ACK"]
+
+    def test_release_frees_grant(self, dep):
+        server = dep.server("s1")
+        sender = dep.platform("s2").endpoint
+        sender.send("s1", "UPDATE", payload(1, reply_to="s2"))
+        dep.run(until=50)
+        assert server._grant_holder == aid(1)
+        sender.send("s1", "RELEASE", payload(1, reply_to="s2"))
+        dep.run(until=100)
+        assert server._grant_holder is None
+        # lock entry survives a RELEASE (the agent is still queued)
+        assert server.updated_list.as_set() == frozenset()
+
+    def test_stale_release_does_not_clear_newer_grant(self, dep):
+        """Regression: a re-claim's UPDATE (epoch 2) can overtake the
+        failed claim's RELEASE (epoch 1) in the network; the late RELEASE
+        must not free the epoch-2 grant, or a second claimer could slip
+        into the critical section."""
+        server = dep.server("s1")
+        sender = dep.platform("s2").endpoint
+        sender.send("s1", "UPDATE", payload(1, reply_to="s2", epoch=2))
+        dep.run(until=50)
+        assert server._grant_holder == aid(1)
+        assert server._grant_epoch == 2
+        sender.send("s1", "RELEASE", payload(1, reply_to="s2", epoch=1))
+        dep.run(until=100)
+        assert server._grant_holder == aid(1)  # survived the stale release
+        # An in-order release (same epoch) does clear it.
+        sender.send("s1", "RELEASE", payload(1, reply_to="s2", epoch=2))
+        dep.run(until=150)
+        assert server._grant_holder is None
+
+    def test_stale_update_does_not_roll_epoch_back(self, dep):
+        server = dep.server("s1")
+        sender = dep.platform("s2").endpoint
+        sender.send("s1", "UPDATE", payload(1, reply_to="s2", epoch=3))
+        dep.run(until=50)
+        sender.send("s1", "UPDATE", payload(1, reply_to="s2", epoch=2))
+        dep.run(until=100)
+        assert server._grant_epoch == 3
+
+    def test_grant_expires_after_ttl(self, dep):
+        server = dep.server("s1")
+        server.config.grant_ttl = 10.0
+        sender = dep.platform("s2").endpoint
+        kinds = []
+
+        def listener(env):
+            sender.send("s1", "UPDATE", payload(1, reply_to="s2"))
+            msg = yield sender.receive(
+                match=lambda m: m.kind in ("ACK", "NACK")
+            )
+            kinds.append(msg.kind)
+            yield env.timeout(50)  # let the TTL lapse
+            sender.send("s1", "UPDATE", payload(2, reply_to="s2"))
+            msg = yield sender.receive(
+                match=lambda m: m.kind in ("ACK", "NACK")
+            )
+            kinds.append(msg.kind)
+
+        dep.env.process(listener(dep.env))
+        dep.run(until=200)
+        assert kinds == ["ACK", "ACK"]
+        assert server._grant_holder == aid(2)
+
+
+class TestCommitAndAbort:
+    def test_commit_applies_and_cleans_up(self, dep):
+        server = dep.server("s1")
+        server.request_lock(aid(1), 1)
+        dep.platform("s2").endpoint.send(
+            "s1", "COMMIT", payload(1, version=1, value="committed")
+        )
+        dep.run(until=100)
+        assert server.store.read("x").value == "committed"
+        assert server.history.identities() == [(1, "x", 1)]
+        assert aid(1) in server.updated_list
+        assert aid(1) not in server.locking_list
+
+    def test_commit_is_idempotent_on_redelivery(self, dep):
+        server = dep.server("s1")
+        endpoint = dep.platform("s2").endpoint
+        endpoint.send("s1", "COMMIT", payload(1))
+        endpoint.send("s1", "COMMIT", payload(1))
+        dep.run(until=100)
+        assert len(server.history) == 1
+        assert server.commits_applied == 1
+
+    def test_stale_commit_not_applied(self, dep):
+        server = dep.server("s1")
+        endpoint = dep.platform("s2").endpoint
+        endpoint.send("s1", "COMMIT", payload(2, version=5, value="new"))
+        dep.run(until=50)
+        endpoint.send("s1", "COMMIT", payload(1, version=3, value="old"))
+        dep.run(until=100)
+        assert server.store.read("x").value == "new"
+        assert len(server.history) == 1
+
+    def test_abort_releases_everything(self, dep):
+        server = dep.server("s1")
+        server.request_lock(aid(1), 1)
+        endpoint = dep.platform("s2").endpoint
+        endpoint.send("s1", "UPDATE", payload(1, reply_to="s2"))
+        dep.run(until=50)
+        endpoint.send("s1", "ABORT", payload(1, reply_to="s2"))
+        dep.run(until=100)
+        assert server._grant_holder is None
+        assert aid(1) not in server.locking_list
+        assert aid(1) in server.updated_list
+        assert len(server.store) == 0
+
+
+class TestReadQueryAndSync:
+    def test_readq_replies_with_version(self, dep):
+        server = dep.server("s1")
+        server.store.apply("x", "answer", 7, 0.0)
+        asker = dep.platform("s2").endpoint
+        replies = []
+
+        def listener(env):
+            msg = yield asker.receive(kind="READR")
+            replies.append(msg.payload)
+
+        dep.env.process(listener(dep.env))
+        asker.send("s1", "READQ", {"request_id": 9, "key": "x"})
+        dep.run(until=100)
+        assert replies[0]["version"] == 7
+        assert replies[0]["value"] == "answer"
+
+    def test_readq_missing_key(self, dep):
+        asker = dep.platform("s2").endpoint
+        replies = []
+
+        def listener(env):
+            msg = yield asker.receive(kind="READR")
+            replies.append(msg.payload)
+
+        dep.env.process(listener(dep.env))
+        asker.send("s1", "READQ", {"request_id": 9, "key": "ghost"})
+        dep.run(until=100)
+        assert replies[0]["version"] == 0
+        assert replies[0]["value"] is None
+
+    def test_sync_transfers_store_and_clears_stale_locks(self, dep):
+        source = dep.server("s2")
+        source.store.apply("x", "fresh", 9, 0.0)
+        source.updated_list.add(aid(1))
+
+        target = dep.server("s1")
+        target.request_lock(aid(1), 1)  # stale entry of a finished agent
+        target.request_sync("s2")
+        dep.run(until=200)
+        assert target.store.read("x").value == "fresh"
+        assert aid(1) not in target.locking_list
+        assert aid(1) in target.updated_list
+        assert target.recoveries == 1

@@ -1,0 +1,219 @@
+"""Deterministic unit tests of the live HostRuntime message handlers.
+
+These drive ``_dispatch`` directly — no threads, no timers — so the live
+host's state machine (grants, locking list, parking, claims, commits)
+can be tested exactly like the DES server.
+"""
+
+import queue
+
+import pytest
+
+from repro.agents.identity import AgentId
+from repro.runtime.host import HostRuntime, LiveConfig
+from repro.runtime.shipping import LiveAgentState, ship
+from repro.runtime.transport import LiveMessage, LiveTransport
+
+
+HOSTS = ["h1", "h2", "h3"]
+
+
+@pytest.fixture
+def transport():
+    # zero latency so every send lands in a mailbox immediately
+    return LiveTransport(HOSTS, latency_range=(0.0, 0.0))
+
+
+@pytest.fixture
+def host(transport):
+    return HostRuntime("h1", HOSTS, transport, LiveConfig())
+
+
+def drain(transport, host_name):
+    """All messages currently queued for a host."""
+    mailbox = transport.mailbox(host_name)
+    out = []
+    while True:
+        try:
+            out.append(mailbox.get_nowait())
+        except queue.Empty:
+            return out
+
+
+def agent_state(n: int, home="h2", key="x", value="v") -> LiveAgentState:
+    return LiveAgentState(
+        agent_id=AgentId(home, float(n), 0),
+        home=home,
+        batch_id=n,
+        requests=[(n, key, value, 0.0)],
+        dispatched_at=0.0,
+        tour_remaining=[h for h in HOSTS if h != home],
+    )
+
+
+def msg(kind, payload, src="h2", dst="h1"):
+    return LiveMessage(kind=kind, src=src, dst=dst, payload=payload)
+
+
+class TestWriteAndAgentArrival:
+    def test_write_creates_agent_and_enqueues_lock(self, host, transport):
+        host._dispatch(
+            msg("WRITE", {"request_id": 1, "key": "x", "value": 5,
+                          "created_at": 0.0}),
+            now=100.0,
+        )
+        # the agent enqueued locally and migrated onward
+        assert len(host.locking_list) == 1
+        outbound = drain(transport, "h2") + drain(transport, "h3")
+        assert any(m.kind == "AGENT" for m in outbound)
+
+    def test_agent_arrival_enqueues_and_moves_on(self, host, transport):
+        state = agent_state(7)
+        host._dispatch(
+            msg("AGENT", ship(state), src="h2"), now=10.0,
+        )
+        assert any(
+            entry == state.agent_id for entry, _b in host.locking_list
+        )
+        # it still has h3 to visit
+        forwarded = drain(transport, "h3")
+        assert len(forwarded) == 1
+        assert forwarded[0].kind == "AGENT"
+
+    def test_agent_with_majority_claims(self, host, transport):
+        state = agent_state(7)
+        # pretend it already visited h2 and h3 and topped both
+        from repro.replication.server import SharedView
+
+        for other in ("h2", "h3"):
+            state.table.update(SharedView(
+                host=other, as_of=1.0, view=(state.agent_id,),
+                updated=frozenset(), versions={},
+            ))
+        state.tour_remaining = []
+        host._dispatch(msg("AGENT", ship(state), src="h3"), now=10.0)
+        # topping h1 + h2 + h3 = majority -> UPDATE broadcast to all
+        updates = [
+            m for h in HOSTS for m in drain(transport, h)
+            if m.kind == "UPDATE"
+        ]
+        assert len(updates) == len(HOSTS)
+        assert host.claims  # claim pending at this host
+
+
+class TestGrantHandlers:
+    def test_update_grants_and_reports_versions(self, host, transport):
+        host.store["x"] = ("old", 4)
+        host._dispatch(
+            msg("UPDATE", {
+                "batch_id": 1, "epoch": 1,
+                "agent_id": AgentId("h2", 1.0, 0), "reply_to": "h2",
+            }),
+            now=10.0,
+        )
+        acks = [m for m in drain(transport, "h2") if m.kind == "ACK"]
+        assert len(acks) == 1
+        assert acks[0].payload["versions"] == {"x": 4}
+        assert host.grant_holder == AgentId("h2", 1.0, 0)
+
+    def test_second_claimer_nacked(self, host, transport):
+        a, b = AgentId("h2", 1.0, 0), AgentId("h3", 2.0, 0)
+        host._dispatch(
+            msg("UPDATE", {"batch_id": 1, "epoch": 1, "agent_id": a,
+                           "reply_to": "h2"}),
+            now=10.0,
+        )
+        host._dispatch(
+            msg("UPDATE", {"batch_id": 2, "epoch": 1, "agent_id": b,
+                           "reply_to": "h3"}, src="h3"),
+            now=11.0,
+        )
+        nacks = [m for m in drain(transport, "h3") if m.kind == "NACK"]
+        assert len(nacks) == 1
+        assert host.grant_holder == a
+
+    def test_stale_release_epoch_guarded(self, host, transport):
+        a = AgentId("h2", 1.0, 0)
+        host._dispatch(
+            msg("UPDATE", {"batch_id": 1, "epoch": 2, "agent_id": a,
+                           "reply_to": "h2"}),
+            now=10.0,
+        )
+        host._dispatch(
+            msg("RELEASE", {"batch_id": 1, "agent_id": a, "epoch": 1}),
+            now=11.0,
+        )
+        assert host.grant_holder == a  # stale release ignored
+        host._dispatch(
+            msg("RELEASE", {"batch_id": 1, "agent_id": a, "epoch": 2}),
+            now=12.0,
+        )
+        assert host.grant_holder is None
+
+    def test_grant_ttl_expiry(self, transport):
+        config = LiveConfig(grant_ttl=100.0)
+        host = HostRuntime("h1", HOSTS, transport, config)
+        a, b = AgentId("h2", 1.0, 0), AgentId("h3", 2.0, 0)
+        host._dispatch(
+            msg("UPDATE", {"batch_id": 1, "epoch": 1, "agent_id": a,
+                           "reply_to": "h2"}),
+            now=10.0,
+        )
+        host._dispatch(
+            msg("UPDATE", {"batch_id": 2, "epoch": 1, "agent_id": b,
+                           "reply_to": "h3"}, src="h3"),
+            now=200.0,  # past the TTL
+        )
+        assert host.grant_holder == b
+
+
+class TestCommitPath:
+    def test_commit_applies_in_version_order(self, host):
+        a = AgentId("h2", 1.0, 0)
+        host._dispatch(
+            msg("COMMIT", {
+                "batch_id": 1, "agent_id": a,
+                "writes": ((1, "x", "new", 2),), "origin": "h2",
+            }),
+            now=10.0,
+        )
+        host._dispatch(
+            msg("COMMIT", {
+                "batch_id": 2, "agent_id": AgentId("h3", 2.0, 0),
+                "writes": ((2, "x", "stale", 1),), "origin": "h3",
+            }),
+            now=11.0,
+        )
+        assert host.store["x"] == ("new", 2)
+        assert host.history == [(1, "x", 2)]
+
+    def test_commit_removes_lock_and_wakes_parked(self, host, transport):
+        winner = AgentId("h2", 1.0, 0)
+        host.locking_list.append((winner, 1))
+        parked = agent_state(9, home="h1")
+        parked.tour_remaining = []
+        host.parked[parked.agent_id] = (parked, 1e12)
+        host._dispatch(
+            msg("COMMIT", {
+                "batch_id": 1, "agent_id": winner,
+                "writes": ((1, "x", "v", 1),), "origin": "h2",
+            }),
+            now=10.0,
+        )
+        assert all(entry != winner for entry, _b in host.locking_list)
+        assert winner in host.updated
+        assert parked.agent_id not in host.parked  # woken
+
+    def test_claim_timeout_fails_claim(self, host, transport):
+        state = agent_state(5, home="h1")
+        state.tour_remaining = []
+        host._start_claim(state, now=10.0)
+        assert 5 in host.claims
+        host._check_timers(now=10.0 + host.config.ack_timeout + 1)
+        assert 5 not in host.claims
+        releases = [
+            m for h in HOSTS for m in drain(transport, h)
+            if m.kind == "RELEASE"
+        ]
+        assert len(releases) == len(HOSTS)
+        assert state.failed_claims == 1

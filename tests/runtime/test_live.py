@@ -1,0 +1,137 @@
+"""Tests for the live (thread/process) runtime backend."""
+
+import pickle
+
+import pytest
+
+from repro.agents.identity import AgentId
+from repro.errors import NetworkError, ReplicationError
+from repro.runtime.cluster import LiveCluster
+from repro.runtime.host import LiveConfig
+from repro.runtime.shipping import LiveAgentState, ship, unship
+from repro.runtime.transport import LiveMessage, LiveTransport
+
+
+class TestShipping:
+    def test_round_trip(self):
+        state = LiveAgentState(
+            agent_id=AgentId("h1", 1.0, 0),
+            home="h1",
+            batch_id=7,
+            requests=[(7, "x", 42, 0.0)],
+        )
+        state.visited.add("h1")
+        restored = unship(ship(state))
+        assert restored.agent_id == state.agent_id
+        assert restored.requests == state.requests
+        assert restored.visited == {"h1"}
+
+    def test_unship_type_checked(self):
+        with pytest.raises(TypeError):
+            unship(pickle.dumps({"not": "an agent"}))
+
+    def test_ship_size_reflects_payload(self):
+        small = LiveAgentState(
+            agent_id=AgentId("h1", 1.0, 0), home="h1", batch_id=1,
+            requests=[(1, "x", 0, 0.0)],
+        )
+        big = LiveAgentState(
+            agent_id=AgentId("h1", 1.0, 0), home="h1", batch_id=1,
+            requests=[(1, "x", "v" * 5000, 0.0)],
+        )
+        assert len(ship(big)) > len(ship(small))
+
+
+class TestTransport:
+    def test_delivery(self):
+        transport = LiveTransport(["a", "b"], latency_range=(0.0, 0.0))
+        transport.send(LiveMessage(kind="X", src="a", dst="b", payload=1))
+        msg = transport.mailbox("b").get(timeout=1.0)
+        assert msg.payload == 1
+
+    def test_delayed_delivery(self):
+        transport = LiveTransport(["a", "b"], latency_range=(5.0, 10.0))
+        delay = transport.send(
+            LiveMessage(kind="X", src="a", dst="b")
+        )
+        assert 5.0 <= delay <= 10.0
+        msg = transport.mailbox("b").get(timeout=1.0)
+        assert msg.kind == "X"
+
+    def test_unknown_destination(self):
+        transport = LiveTransport(["a"])
+        with pytest.raises(NetworkError):
+            transport.send(LiveMessage(kind="X", src="a", dst="zz"))
+
+    def test_invalid_backend(self):
+        with pytest.raises(NetworkError):
+            LiveTransport(["a"], backend="quantum")
+
+    def test_invalid_latency_range(self):
+        with pytest.raises(NetworkError):
+            LiveTransport(["a"], latency_range=(5.0, 1.0))
+
+
+class TestLiveClusterThread:
+    def test_writes_commit_and_stay_consistent(self):
+        with LiveCluster(n_replicas=3, backend="thread", seed=3) as cluster:
+            for index in range(9):
+                cluster.submit_write(
+                    cluster.hosts[index % 3], "x", index
+                )
+            records = cluster.wait_for(9, timeout=60)
+        assert all(r["status"] == "committed" for r in records)
+        report = cluster.audit()
+        assert report.consistent
+        assert report.total_commits == 9
+
+    def test_visits_at_least_majority(self):
+        with LiveCluster(n_replicas=3, backend="thread", seed=4) as cluster:
+            cluster.submit_write("h1", "x", 1)
+            records = cluster.wait_for(1, timeout=30)
+        assert records[0]["visits_to_lock"] >= 2  # ceil((3+1)/2)
+
+    def test_submit_to_unknown_host_rejected(self):
+        cluster = LiveCluster(n_replicas=2).start()
+        try:
+            with pytest.raises(ReplicationError):
+                cluster.submit_write("nope", "x", 1)
+        finally:
+            cluster.shutdown()
+
+    def test_submit_before_start_rejected(self):
+        cluster = LiveCluster(n_replicas=2)
+        with pytest.raises(ReplicationError):
+            cluster.submit_write("h1", "x", 1)
+
+    def test_invalid_replica_count(self):
+        with pytest.raises(ReplicationError):
+            LiveCluster(n_replicas=0)
+
+    def test_wait_timeout_raises(self):
+        with LiveCluster(n_replicas=2, backend="thread") as cluster:
+            with pytest.raises(TimeoutError):
+                cluster.wait_for(1, timeout=0.3)
+
+    def test_multiple_keys(self):
+        with LiveCluster(n_replicas=3, backend="thread", seed=5) as cluster:
+            cluster.submit_write("h1", "a", 1)
+            cluster.submit_write("h2", "b", 2)
+            records = cluster.wait_for(2, timeout=30)
+        assert all(r["status"] == "committed" for r in records)
+        final = next(iter(cluster.shutdown().values()), None) or list(
+            cluster._finals.values()
+        )[0]
+        assert set(final["store"]) == {"a", "b"}
+
+
+class TestLiveClusterProcess:
+    def test_process_backend_commits_consistently(self):
+        with LiveCluster(n_replicas=3, backend="process", seed=6) as cluster:
+            for index in range(6):
+                cluster.submit_write(cluster.hosts[index % 3], "x", index)
+            records = cluster.wait_for(6, timeout=60)
+        assert all(r["status"] == "committed" for r in records)
+        report = cluster.audit()
+        assert report.consistent
+        assert report.total_commits == 6

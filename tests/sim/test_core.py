@@ -1,0 +1,260 @@
+"""Unit tests for the Environment and Process machinery."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.core import NORMAL, URGENT, Environment
+from repro.sim.interrupts import Interrupt
+
+
+class TestClock:
+    def test_initial_time_default(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time_custom(self):
+        assert Environment(initial_time=10.5).now == 10.5
+
+    def test_time_advances_with_timeouts(self, env):
+        def proc(env):
+            yield env.timeout(3)
+            assert env.now == 3.0
+            yield env.timeout(4.5)
+            assert env.now == 7.5
+
+        env.process(proc(env))
+        env.run()
+        assert env.now == 7.5
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(5)
+        assert env.peek() == 5.0
+
+
+class TestScheduling:
+    def test_same_time_events_fifo(self, env):
+        order = []
+
+        def proc(env, tag):
+            yield env.timeout(1)
+            order.append(tag)
+
+        for tag in ("a", "b", "c"):
+            env.process(proc(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_urgent_beats_normal_at_same_time(self, env):
+        order = []
+        normal = env.event()
+        normal._ok = True
+        normal._value = None
+        normal.callbacks.append(lambda e: order.append("normal"))
+        urgent = env.event()
+        urgent._ok = True
+        urgent._value = None
+        urgent.callbacks.append(lambda e: order.append("urgent"))
+        env.schedule(normal, delay=1, priority=NORMAL)
+        env.schedule(urgent, delay=1, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_negative_delay_rejected(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            env.schedule(event, delay=-1)
+
+    def test_step_on_empty_schedule_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+class TestRunUntil:
+    def test_run_until_time_stops_clock(self, env):
+        ticks = []
+
+        def clock(env):
+            while True:
+                yield env.timeout(1)
+                ticks.append(env.now)
+
+        env.process(clock(env))
+        env.run(until=5)
+        assert env.now == 5.0
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_run_until_event_returns_value(self, env):
+        def proc(env):
+            yield env.timeout(2)
+            return "done"
+
+        result = env.run(until=env.process(proc(env)))
+        assert result == "done"
+        assert env.now == 2.0
+
+    def test_run_until_past_time_raises(self):
+        env = Environment(initial_time=10)
+        with pytest.raises(SimulationError):
+            env.run(until=5)
+
+    def test_run_until_already_processed_event(self, env):
+        event = env.event()
+        event.succeed("early")
+        env.run()
+        assert env.run(until=event) == "early"
+
+    def test_run_until_event_that_never_fires_raises(self, env):
+        event = env.event()  # never triggered, queue drains
+        with pytest.raises(SimulationError):
+            env.run(until=event)
+
+    def test_run_drains_queue_and_returns_none(self, env):
+        env.timeout(1)
+        assert env.run() is None
+
+
+class TestProcess:
+    def test_process_requires_generator(self, env):
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)  # type: ignore[arg-type]
+
+    def test_process_return_value_propagates(self, env):
+        def child(env):
+            yield env.timeout(1)
+            return 99
+
+        def parent(env):
+            value = yield env.process(child(env))
+            assert value == 99
+
+        env.process(parent(env))
+        env.run()
+
+    def test_process_exception_propagates_to_waiter(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise ValueError("child died")
+
+        def parent(env):
+            with pytest.raises(ValueError, match="child died"):
+                yield env.process(child(env))
+
+        env.process(parent(env))
+        env.run()
+
+    def test_unwaited_process_exception_raises_from_run(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise ValueError("nobody caught me")
+
+        env.process(child(env))
+        with pytest.raises(ValueError, match="nobody caught me"):
+            env.run()
+
+    def test_yielding_non_event_raises(self, env):
+        def proc(env):
+            yield 42  # type: ignore[misc]
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_yielding_foreign_event_raises(self, env):
+        other = Environment()
+
+        def proc(env):
+            yield other.timeout(1)
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError, match="different environment"):
+            env.run()
+
+    def test_is_alive_tracks_lifetime(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        process = env.process(proc(env))
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_yield_already_processed_event_resumes_immediately(self, env):
+        done = env.event()
+        done.succeed("cached")
+
+        def proc(env):
+            yield env.timeout(1)  # let `done` be processed first
+            value = yield done
+            assert value == "cached"
+            assert env.now == 1.0
+
+        env.process(proc(env))
+        env.run()
+
+    def test_active_process_visible_during_resume(self, env):
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        process = env.process(proc(env))
+        env.run()
+        assert seen == [process]
+        assert env.active_process is None
+
+    def test_process_name_from_generator(self, env):
+        def my_behavior(env):
+            yield env.timeout(1)
+
+        process = env.process(my_behavior(env))
+        assert "my_behavior" in repr(process)
+
+    def test_process_custom_name(self, env):
+        def gen(env):
+            yield env.timeout(1)
+
+        process = env.process(gen(env), name="worker-7")
+        assert process.name == "worker-7"
+
+
+class TestInterruptViaProcess:
+    def test_interrupting_dead_process_raises(self, env):
+        def proc(env):
+            yield env.timeout(1)
+
+        process = env.process(proc(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc(env):
+            env.active_process.interrupt()
+            yield env.timeout(1)
+
+        env.process(proc(env))
+        with pytest.raises(SimulationError, match="interrupt itself"):
+            env.run()
+
+    def test_interrupted_process_can_continue(self, env):
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append(("interrupted", env.now, interrupt.cause))
+            yield env.timeout(1)
+            log.append(("resumed", env.now))
+
+        def waker(env, target):
+            yield env.timeout(5)
+            target.interrupt("wake")
+
+        target = env.process(sleeper(env))
+        env.process(waker(env, target))
+        env.run()
+        assert log == [("interrupted", 5.0, "wake"), ("resumed", 6.0)]

@@ -1,0 +1,75 @@
+"""Unit tests for Monitor / StateMonitor."""
+
+import math
+
+import pytest
+
+from repro.sim.monitor import Monitor, StateMonitor
+
+
+class TestMonitor:
+    def test_record_and_mean(self):
+        monitor = Monitor("latency")
+        for t, v in [(0, 10), (1, 20), (2, 30)]:
+            monitor.record(t, v)
+        assert monitor.mean() == 20.0
+        assert len(monitor) == 3
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Monitor().mean())
+
+    def test_percentile(self):
+        monitor = Monitor()
+        for v in range(1, 101):
+            monitor.record(v, v)
+        assert monitor.percentile(50) == pytest.approx(50.5)
+
+    def test_empty_percentile_is_nan(self):
+        assert math.isnan(Monitor().percentile(95))
+
+    def test_arrays(self):
+        monitor = Monitor()
+        monitor.record(1.0, 5.0)
+        assert monitor.times.tolist() == [1.0]
+        assert monitor.values.tolist() == [5.0]
+
+    def test_clear(self):
+        monitor = Monitor()
+        monitor.record(0, 1)
+        monitor.clear()
+        assert len(monitor) == 0
+
+
+class TestStateMonitor:
+    def test_time_average_of_step_function(self):
+        monitor = StateMonitor(initial=0.0, time=0.0)
+        monitor.set(10, 2.0)  # 0 for [0,10), 2 for [10,20)
+        assert monitor.time_average(until=20) == pytest.approx(1.0)
+
+    def test_time_average_single_sample(self):
+        monitor = StateMonitor(initial=5.0, time=3.0)
+        assert monitor.time_average(until=3.0) == 5.0
+
+    def test_time_backwards_rejected(self):
+        monitor = StateMonitor(initial=0.0, time=10.0)
+        with pytest.raises(ValueError):
+            monitor.set(5.0, 1.0)
+
+    def test_current(self):
+        monitor = StateMonitor(initial=1.0)
+        monitor.set(2.0, 7.0)
+        assert monitor.current == 7.0
+
+    def test_current_without_samples_raises(self):
+        with pytest.raises(ValueError):
+            _ = StateMonitor().current
+
+    def test_empty_time_average_is_nan(self):
+        assert math.isnan(StateMonitor().time_average(until=10))
+
+    def test_samples_arrays(self):
+        monitor = StateMonitor(initial=1.0, time=0.0)
+        monitor.set(5.0, 3.0)
+        times, states = monitor.samples()
+        assert times.tolist() == [0.0, 5.0]
+        assert states.tolist() == [1.0, 3.0]

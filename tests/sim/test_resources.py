@@ -1,0 +1,145 @@
+"""Unit tests for Resource / PriorityResource."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.resources import PriorityResource, Resource
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        granted_at = []
+
+        def user(env, hold):
+            with resource.request() as req:
+                yield req
+                granted_at.append(env.now)
+                yield env.timeout(hold)
+
+        for _ in range(3):
+            env.process(user(env, 4))
+        env.run()
+        assert granted_at == [0.0, 0.0, 4.0]
+
+    def test_fifo_grant_order(self, env):
+        resource = Resource(env)
+        order = []
+
+        def user(env, name):
+            with resource.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        for name in ("u1", "u2", "u3"):
+            env.process(user(env, name))
+        env.run()
+        assert order == ["u1", "u2", "u3"]
+
+    def test_count_tracks_holders(self, env):
+        resource = Resource(env, capacity=2)
+
+        def user(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        env.process(user(env))
+        env.process(user(env))
+        env.run(until=5)
+        assert resource.count == 2
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_release_of_ungranted_request_cancels_it(self, env):
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def canceller(env):
+            yield env.timeout(1)
+            req = resource.request()
+            resource.release(req)  # cancel while still waiting
+
+        def third(env):
+            yield env.timeout(2)
+            with resource.request() as req:
+                yield req
+                order.append(("third", env.now))
+
+        env.process(holder(env))
+        env.process(canceller(env))
+        env.process(third(env))
+        env.run()
+        assert order == [("third", 10.0)]
+
+    def test_context_manager_releases_on_exit(self, env):
+        resource = Resource(env)
+
+        def user(env):
+            with resource.request() as req:
+                yield req
+            assert resource.count == 0
+
+        env.process(user(env))
+        env.run()
+
+
+class TestPriorityResource:
+    def test_waiters_granted_by_priority(self, env):
+        resource = PriorityResource(env)
+        order = []
+
+        def user(env, name, priority, start):
+            yield env.timeout(start)
+            with resource.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(10)
+
+        env.process(user(env, "holder", 0, 0))
+        env.process(user(env, "low", 5, 1))
+        env.process(user(env, "high", 1, 2))
+        env.run()
+        # holder first, then high priority jumps the earlier low request
+        assert order == ["holder", "high", "low"]
+
+    def test_equal_priority_fifo(self, env):
+        resource = PriorityResource(env)
+        order = []
+
+        def user(env, name):
+            with resource.request(priority=1) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        for name in ("a", "b"):
+            env.process(user(env, name))
+        env.run()
+        assert order == ["a", "b"]
+
+    def test_cancel_waiting_priority_request(self, env):
+        resource = PriorityResource(env)
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def canceller(env):
+            yield env.timeout(1)
+            req = resource.request(priority=0)
+            resource.release(req)
+
+        env.process(holder(env))
+        env.process(canceller(env))
+        env.run()
+        assert resource.count == 0

@@ -1,0 +1,153 @@
+"""Unit tests for arrival processes, operation mixes and traces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.replication.requests import READ, WRITE
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import (
+    DeterministicArrivals,
+    ExponentialArrivals,
+    UniformArrivals,
+    make_arrivals,
+)
+from repro.workload.mix import OperationMix
+from repro.workload.trace import TraceEntry, WorkloadTrace
+
+
+@pytest.fixture
+def stream():
+    return RandomStreams(5).stream("workload-tests")
+
+
+class TestArrivals:
+    def test_exponential_mean(self, stream):
+        arrivals = ExponentialArrivals(20.0)
+        gaps = [arrivals.next_gap(stream) for _ in range(4000)]
+        assert 18.0 < np.mean(gaps) < 22.0
+
+    def test_exponential_validation(self):
+        with pytest.raises(WorkloadError):
+            ExponentialArrivals(0)
+
+    def test_uniform_bounds(self, stream):
+        arrivals = UniformArrivals(5.0, 10.0)
+        assert all(5 <= arrivals.next_gap(stream) <= 10 for _ in range(200))
+
+    def test_uniform_validation(self):
+        with pytest.raises(WorkloadError):
+            UniformArrivals(0, 10)
+        with pytest.raises(WorkloadError):
+            UniformArrivals(10, 5)
+
+    def test_deterministic_fixed(self, stream):
+        arrivals = DeterministicArrivals(7.0)
+        assert [arrivals.next_gap(stream) for _ in range(3)] == [7.0] * 3
+
+    def test_deterministic_validation(self):
+        with pytest.raises(WorkloadError):
+            DeterministicArrivals(0)
+
+    def test_factory(self):
+        assert isinstance(
+            make_arrivals("exponential", mean=5.0), ExponentialArrivals
+        )
+        assert isinstance(
+            make_arrivals("uniform", low=1, high=2), UniformArrivals
+        )
+        assert isinstance(
+            make_arrivals("deterministic", interval=1), DeterministicArrivals
+        )
+        with pytest.raises(WorkloadError):
+            make_arrivals("bursty")
+
+
+class TestOperationMix:
+    def test_all_writes(self, stream):
+        mix = OperationMix(write_fraction=1.0)
+        ops = {mix.sample(stream)[0] for _ in range(50)}
+        assert ops == {WRITE}
+
+    def test_all_reads(self, stream):
+        mix = OperationMix(write_fraction=0.0)
+        ops = {mix.sample(stream)[0] for _ in range(50)}
+        assert ops == {READ}
+
+    def test_mixed_fraction(self, stream):
+        mix = OperationMix(write_fraction=0.5)
+        ops = [mix.sample(stream)[0] for _ in range(1000)]
+        write_rate = ops.count(WRITE) / len(ops)
+        assert 0.4 < write_rate < 0.6
+
+    def test_write_values_unique_increasing(self, stream):
+        mix = OperationMix(write_fraction=1.0)
+        values = [mix.sample(stream)[2] for _ in range(5)]
+        assert values == [1, 2, 3, 4, 5]
+
+    def test_reads_have_no_value(self, stream):
+        mix = OperationMix(write_fraction=0.0)
+        assert mix.sample(stream)[2] is None
+
+    def test_default_single_key(self, stream):
+        mix = OperationMix()
+        assert mix.sample(stream)[1] == "x"
+
+    def test_multiple_keys_all_hit(self, stream):
+        mix = OperationMix(keys=["a", "b", "c"])
+        keys = {mix.sample(stream)[1] for _ in range(200)}
+        assert keys == {"a", "b", "c"}
+
+    def test_zipf_skew_prefers_first_key(self, stream):
+        mix = OperationMix(keys=[f"k{i}" for i in range(10)], key_skew=1.5)
+        keys = [mix.sample(stream)[1] for _ in range(1000)]
+        assert keys.count("k0") > keys.count("k9")
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            OperationMix(write_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            OperationMix(key_skew=-1)
+        with pytest.raises(WorkloadError):
+            OperationMix(keys=[])
+
+
+class TestWorkloadTrace:
+    def test_record_in_order(self):
+        trace = WorkloadTrace()
+        trace.record(TraceEntry(1.0, "s1", WRITE, "x", 1))
+        trace.record(TraceEntry(2.0, "s2", READ, "x"))
+        assert len(trace) == 2
+
+    def test_out_of_order_rejected(self):
+        trace = WorkloadTrace()
+        trace.record(TraceEntry(5.0, "s1", WRITE, "x", 1))
+        with pytest.raises(WorkloadError):
+            trace.record(TraceEntry(1.0, "s1", WRITE, "x", 2))
+
+    def test_constructor_validates_order(self):
+        with pytest.raises(WorkloadError):
+            WorkloadTrace([
+                TraceEntry(5.0, "s1", WRITE, "x", 1),
+                TraceEntry(1.0, "s1", WRITE, "x", 2),
+            ])
+
+    def test_serialisation_round_trip(self):
+        trace = WorkloadTrace([
+            TraceEntry(1.0, "s1", WRITE, "x", 7),
+            TraceEntry(2.5, "s2", READ, "y", None),
+        ])
+        restored = WorkloadTrace.loads(trace.dumps())
+        assert restored.entries == trace.entries
+
+    def test_loads_malformed(self):
+        with pytest.raises(WorkloadError):
+            WorkloadTrace.loads("not json at all {{")
+
+    def test_for_home(self):
+        trace = WorkloadTrace([
+            TraceEntry(1.0, "s1", WRITE, "x", 1),
+            TraceEntry(2.0, "s2", WRITE, "x", 2),
+            TraceEntry(3.0, "s1", READ, "x"),
+        ])
+        assert len(trace.for_home("s1")) == 2
