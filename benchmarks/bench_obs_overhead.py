@@ -1,0 +1,99 @@
+"""Overhead guard: observability must be free when disabled.
+
+The zero-cost contract (docs/observability.md): with no hub installed —
+or a *disabled* hub installed — every instrumented component resolves
+its hub reference to ``None`` at construction and the simulator runs
+the exact pre-obs code paths (``Environment.step`` is not even
+wrapped). This bench measures that claim on a real MARP run and fails
+if the disabled-hub configuration costs more than 3% wall time against
+the no-hub baseline. The *enabled*-hub cost is reported for
+information only; it buys the full metric/span stream and has no
+budget.
+
+Runs standalone (``python benchmarks/bench_obs_overhead.py``) and under
+pytest; CI's tier-1 suite does not include benchmarks, so wall-clock
+noise here can never break the build — the 3% assertion uses min-of-N
+timing to stay stable anyway.
+"""
+
+import time
+
+import pytest
+
+from repro.experiments.runner import RunConfig, run_once
+from repro.obs.hub import ObservabilityHub, set_hub
+
+#: generous vs the expected ~0% — the disabled path is identical code.
+MAX_DISABLED_OVERHEAD = 0.03
+REPEATS = 7
+
+BENCH_CONFIG = RunConfig(
+    protocol="marp",
+    n_replicas=5,
+    mean_interarrival=20.0,
+    requests_per_client=15,
+    seed=3,
+)
+
+
+def _timed_run(hub):
+    """Wall seconds for one run under the given process-wide hub."""
+    previous = set_hub(hub)
+    try:
+        start = time.perf_counter()
+        result = run_once(BENCH_CONFIG)
+        elapsed = time.perf_counter() - start
+    finally:
+        set_hub(previous)
+    assert result.committed > 0
+    return elapsed
+
+
+def measure(repeats: int = REPEATS):
+    """Min-of-N wall time for no-hub / disabled-hub / enabled-hub."""
+    timings = {"none": [], "disabled": [], "enabled": []}
+    for _ in range(repeats):
+        timings["none"].append(_timed_run(None))
+        timings["disabled"].append(
+            _timed_run(ObservabilityHub(enabled=False))
+        )
+        timings["enabled"].append(_timed_run(ObservabilityHub()))
+    return {name: min(times) for name, times in timings.items()}
+
+
+def test_disabled_hub_is_free():
+    best = measure()
+    overhead = best["disabled"] / best["none"] - 1.0
+    assert overhead < MAX_DISABLED_OVERHEAD, (
+        f"disabled-hub overhead {overhead:+.1%} exceeds "
+        f"{MAX_DISABLED_OVERHEAD:.0%} "
+        f"(none={best['none'] * 1e3:.1f}ms, "
+        f"disabled={best['disabled'] * 1e3:.1f}ms)"
+    )
+
+
+@pytest.mark.benchmark(group="obs")
+def test_enabled_hub_run(benchmark):
+    def run_instrumented():
+        return _timed_run(ObservabilityHub())
+
+    benchmark(run_instrumented)
+
+
+def main() -> int:
+    best = measure()
+    disabled = best["disabled"] / best["none"] - 1.0
+    enabled = best["enabled"] / best["none"] - 1.0
+    print(f"baseline (no hub):   {best['none'] * 1e3:8.1f} ms")
+    print(f"disabled hub:        {best['disabled'] * 1e3:8.1f} ms "
+          f"({disabled:+.1%})")
+    print(f"enabled hub:         {best['enabled'] * 1e3:8.1f} ms "
+          f"({enabled:+.1%}, for information)")
+    ok = disabled < MAX_DISABLED_OVERHEAD
+    print(f"disabled-overhead budget {MAX_DISABLED_OVERHEAD:.0%}: "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

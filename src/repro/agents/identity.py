@@ -12,7 +12,7 @@ agents created at the same host at the same instant remain distinct.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import total_ordering
 from typing import Dict
 

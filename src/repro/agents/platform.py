@@ -16,7 +16,7 @@ replica server registers itself as the ``"replica"`` service.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, Optional, Set
 
 from repro.errors import AgentError, MigrationError, ReplicaUnavailable
 from repro.agents.agent import MobileAgent

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import TYPE_CHECKING, Any, Dict, List
+from typing import TYPE_CHECKING, Any, List
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.ablations import AblationTable

@@ -7,6 +7,15 @@ agents and replica servers record structured :class:`TraceEvent`s —
 dispatch, migration, lock requests, parking, claims, grants, commits —
 which can be rendered as a chronological log or as per-agent journey
 summaries. Tracing is off by default and costs nothing when disabled.
+
+Since the observability layer landed, :class:`ProtocolTrace` is a thin
+*view* over a :class:`~repro.obs.tracing.SpanTracer` event stream:
+``record()`` appends ``protocol.<kind>`` events to the tracer and the
+query/render methods read them back as :class:`TraceEvent`s. When the
+deployment has an :class:`~repro.obs.hub.ObservabilityHub`, the trace
+shares the hub's tracer, so protocol events appear in JSONL exports
+alongside spans and metrics; standalone use (no hub) gets a private
+tracer and behaves exactly as before.
 """
 
 from __future__ import annotations
@@ -16,8 +25,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_table
+from repro.obs.tracing import SpanTracer
 
 __all__ = ["TraceEvent", "ProtocolTrace"]
+
+#: Namespace prefix for protocol events in the unified tracer stream.
+_PROTOCOL_PREFIX = "protocol."
 
 
 @dataclass(frozen=True)
@@ -39,7 +52,17 @@ class TraceEvent:
 
 
 class ProtocolTrace:
-    """Append-only structured event log for one deployment run."""
+    """Append-only structured event log for one deployment run.
+
+    Parameters
+    ----------
+    capacity:
+        Bounds memory for long runs; events beyond it are counted in
+        :attr:`dropped`.
+    tracer:
+        The span tracer whose event stream backs this view. ``None``
+        (standalone use) creates a private tracer.
+    """
 
     #: The event vocabulary (documented so downstream tooling can rely
     #: on it): agent lifecycle + server-side commit pipeline.
@@ -62,10 +85,12 @@ class ProtocolTrace:
         "unavailable",   # a replica was declared unavailable
     )
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
-        self.events: List[TraceEvent] = []
+    def __init__(self, capacity: Optional[int] = None,
+                 tracer: Optional[SpanTracer] = None) -> None:
+        self.tracer = tracer if tracer is not None else SpanTracer()
         self.capacity = capacity
         self.dropped = 0
+        self._recorded = 0
 
     def record(
         self,
@@ -78,20 +103,38 @@ class ProtocolTrace:
     ) -> None:
         if kind not in self.KINDS:
             raise ValueError(f"unknown trace event kind {kind!r}")
-        if self.capacity is not None and len(self.events) >= self.capacity:
+        if self.capacity is not None and self._recorded >= self.capacity:
             self.dropped += 1
             return
-        self.events.append(
-            TraceEvent(
-                time=time, kind=kind, host=host, agent=agent,
-                request_id=request_id, detail=detail,
-            )
+        self._recorded += 1
+        self.tracer.event(
+            _PROTOCOL_PREFIX + kind, time=time, span=None,
+            host=host, agent=agent, request_id=request_id, detail=detail,
         )
+
+    # -- the view over the unified stream ----------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The protocol events, materialised in recording order."""
+        prefix_len = len(_PROTOCOL_PREFIX)
+        return [
+            TraceEvent(
+                time=event.time,
+                kind=event.name[prefix_len:],
+                host=event.attrs.get("host"),
+                agent=event.attrs.get("agent"),
+                request_id=event.attrs.get("request_id"),
+                detail=event.attrs.get("detail", ""),
+            )
+            for event in self.tracer.events
+            if event.name.startswith(_PROTOCOL_PREFIX)
+        ]
 
     # -- queries -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._recorded
 
     def of_kind(self, kind: str) -> List[TraceEvent]:
         return [e for e in self.events if e.kind == kind]
@@ -106,15 +149,16 @@ class ProtocolTrace:
 
     def render_log(self, limit: Optional[int] = 50) -> str:
         """Chronological event log as an aligned table."""
-        events = self.events if limit is None else self.events[:limit]
+        all_events = self.events
+        events = all_events if limit is None else all_events[:limit]
         rows = [
             [f"{e.time:.2f}", e.kind, e.host or "-", e.agent or "-",
              e.detail]
             for e in events
         ]
         suffix = ""
-        if limit is not None and len(self.events) > limit:
-            suffix = f"\n... {len(self.events) - limit} more events"
+        if limit is not None and len(all_events) > limit:
+            suffix = f"\n... {len(all_events) - limit} more events"
         return format_table(
             ["time(ms)", "event", "host", "agent", "detail"], rows,
             title="protocol trace",
@@ -146,4 +190,4 @@ class ProtocolTrace:
                             title="agent journeys")
 
     def __repr__(self) -> str:
-        return f"<ProtocolTrace events={len(self.events)}>"
+        return f"<ProtocolTrace events={self._recorded}>"

@@ -22,7 +22,7 @@ the integration tests.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict
+from typing import Deque, Dict, Optional
 
 from repro.baselines.base import BaselineDaemon, QuorumProtocol
 from repro.net.message import Message
@@ -71,7 +71,7 @@ class QueueingDaemon(BaselineDaemon):
             },
         )
 
-    def _release(self, rid: int, up_to_epoch: int = None) -> None:
+    def _release(self, rid: int, up_to_epoch: Optional[int] = None) -> None:
         for key, (holder, epoch, _expires) in list(self.locks.items()):
             if holder != rid:
                 continue

@@ -153,7 +153,7 @@ class BaselineDaemon:
         p = msg.payload
         self._release(p["rid"], up_to_epoch=p.get("epoch"))
 
-    def _release(self, rid: int, up_to_epoch: int = None) -> None:
+    def _release(self, rid: int, up_to_epoch: Optional[int] = None) -> None:
         """Free this rid's grants.
 
         With ``up_to_epoch`` given (an ABORT), grants from a *newer*

@@ -10,7 +10,14 @@ Usage::
     python -m repro theorems         # T3: Theorem 3 bounds
     python -m repro ablations        # A1-A3
     python -m repro live             # live threaded backend demo
-    python -m repro all              # everything above
+    python -m repro obs              # instrumented demo run + report
+    python -m repro obs --self-check # observability pipeline self-test
+    python -m repro all              # every experiment above
+
+Any experiment command accepts ``--metrics-out FILE.jsonl`` /
+``--trace-out FILE.jsonl`` to run it under a process-wide
+observability hub and dump the telemetry as JSONL (metrics only /
+spans+events only, respectively), with an end-of-run summary line.
 
 Installed as the ``repro-marp`` console script as well.
 """
@@ -38,7 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig2", "fig3", "fig4", "compare", "wan", "theorems",
             "ablations", "scale", "availability", "throughput", "live",
-            "all",
+            "obs", "all",
         ],
         help="which experiment to regenerate",
     )
@@ -58,6 +65,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--format", choices=["text", "csv", "json"], default="text",
         help="output format for figures and comparison tables",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE.jsonl", default=None,
+        help="run under an observability hub; dump metrics as JSONL",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE.jsonl", default=None,
+        help="run under an observability hub; dump spans/events as JSONL",
+    )
+    parser.add_argument(
+        "--self-check", action="store_true",
+        help="with the obs command: run the observability self-test",
     )
     return parser
 
@@ -216,35 +235,112 @@ def _live(args) -> List[str]:
     ]
 
 
+def _obs(args, hub) -> List[str]:
+    from repro.experiments.runner import RunConfig, run_once
+    from repro.obs.export import format_report, summary_line
+
+    result = run_once(RunConfig(
+        protocol="marp",
+        n_replicas=3,
+        mean_interarrival=30.0,
+        requests_per_client=3 if args.quick else min(args.requests, 10),
+        seed=args.seed,
+    ))
+    return [
+        format_report(hub, title="obs: instrumented MARP run (3 replicas)"),
+        f"run: committed={result.committed} failed={result.failed} "
+        f"ALT={result.alt:.1f}ms ATT={result.att:.1f}ms "
+        f"consistent={result.audit.consistent}",
+        summary_line(hub),
+    ]
+
+
+def _obs_self_check() -> List[str]:
+    from repro.obs import self_check
+
+    passed = self_check(verbose=True)
+    return [f"obs self-check: {len(passed)}/{len(passed)} checks passed"]
+
+
+def _check_export_paths(args) -> None:
+    """Fail fast on unwritable --metrics-out/--trace-out destinations
+    (before the experiment runs, not after)."""
+    import os
+
+    for path in (args.metrics_out, args.trace_out):
+        if not path:
+            continue
+        parent = os.path.dirname(path) or "."
+        if not os.path.isdir(parent):
+            raise SystemExit(
+                f"repro-marp: error: cannot write {path!r}: "
+                f"directory {parent!r} does not exist"
+            )
+
+
+def _write_obs_exports(args, hub) -> List[str]:
+    from repro.obs.export import summary_line, write_jsonl
+
+    lines = []
+    if args.metrics_out:
+        write_jsonl(hub, args.metrics_out, spans=False, events=False)
+        lines.append(summary_line(hub, destination=args.metrics_out))
+    if args.trace_out:
+        write_jsonl(hub, args.trace_out, metrics=False)
+        lines.append(summary_line(hub, destination=args.trace_out))
+    return lines
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     sections: List[str] = []
     command = args.command
-    if command in ("fig2", "all"):
-        sections += _figures(args, "fig2")
-    if command in ("fig3", "all"):
-        sections += _figures(args, "fig3")
-    if command in ("fig4", "all"):
-        sections += _figures(args, "fig4")
-    if command in ("compare", "all"):
-        sections += _compare(args, wan=False)
-    if command in ("wan", "all"):
-        sections += _compare(args, wan=True)
-    if command in ("theorems", "all"):
-        sections += _theorems(args)
-    if command in ("ablations", "all"):
-        sections += _ablations(args)
-    if command in ("scale", "all"):
-        sections += _scale(args)
-    if command in ("availability", "all"):
-        sections += _availability(args)
-    if command in ("throughput", "all"):
-        sections += _throughput(args)
-    if command in ("live", "all"):
-        sections += _live(args)
-    print("\n\n".join(sections))
-    return 0
+
+    if command == "obs" and args.self_check:
+        print("\n\n".join(_obs_self_check()))
+        return 0
+
+    hub = None
+    if command == "obs" or args.metrics_out or args.trace_out:
+        from repro import obs
+
+        _check_export_paths(args)
+        hub = obs.enable(obs.ObservabilityHub())
+    try:
+        if command == "obs":
+            sections += _obs(args, hub)
+        if command in ("fig2", "all"):
+            sections += _figures(args, "fig2")
+        if command in ("fig3", "all"):
+            sections += _figures(args, "fig3")
+        if command in ("fig4", "all"):
+            sections += _figures(args, "fig4")
+        if command in ("compare", "all"):
+            sections += _compare(args, wan=False)
+        if command in ("wan", "all"):
+            sections += _compare(args, wan=True)
+        if command in ("theorems", "all"):
+            sections += _theorems(args)
+        if command in ("ablations", "all"):
+            sections += _ablations(args)
+        if command in ("scale", "all"):
+            sections += _scale(args)
+        if command in ("availability", "all"):
+            sections += _availability(args)
+        if command in ("throughput", "all"):
+            sections += _throughput(args)
+        if command in ("live", "all"):
+            sections += _live(args)
+        if hub is not None:
+            sections += _write_obs_exports(args, hub)
+        print("\n\n".join(sections))
+        return 0
+    finally:
+        if hub is not None:
+            from repro.obs import disable
+
+            disable()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess

@@ -82,6 +82,41 @@ class UpdateAgent(MobileAgent):
         self.itinerary = make_itinerary(self.config.itinerary, home=self.home)
         self.stream = marp.deployment.streams.stream(f"agent.{agent_id}")
 
+        # Observability: resolve the deployment's hub once; every record
+        # below is guarded by a single `is not None` check, so a run
+        # without a hub pays nothing.
+        obs = marp.deployment.obs
+        self._obs = obs
+        self._span_request = None
+        self._span_lockwait = None
+        if obs is not None:
+            self._m_requests = obs.counter(
+                "marp_requests_total", "update requests finished",
+                ("status",),
+            )
+            self._m_claims = obs.counter(
+                "marp_claims_total", "claim rounds", ("outcome",)
+            )
+            self._m_migrations = obs.counter(
+                "marp_migrations_total", "agent migrations", ("outcome",)
+            )
+            self._m_parks = obs.counter(
+                "marp_parks_total", "agents parked awaiting release",
+                ("host",),
+            )
+            self._m_alt = obs.histogram(
+                "marp_alt_ms", "per-request lock time (the paper's ALT)"
+            )
+            self._m_att = obs.histogram(
+                "marp_att_ms", "per-request total time (the paper's ATT)",
+                ("status",),
+            )
+            self._m_visits = obs.histogram(
+                "marp_visits_to_lock",
+                "distinct servers visited to win the lock",
+                buckets=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 20),
+            )
+
     # -- carried state (sizes migrations) ------------------------------------
 
     def state(self) -> Dict[str, Any]:
@@ -116,6 +151,15 @@ class UpdateAgent(MobileAgent):
             record.dispatched_at = now
             record.agent_id = str(self.agent_id)
         self._trace("dispatch", detail=f"{len(self.records)} request(s)")
+        if self._obs is not None:
+            self._span_request = self._obs.start_span(
+                "request", start=now, agent=str(self.agent_id),
+                host=self.home, batch_id=self.batch_id, protocol="marp",
+            )
+            self._span_lockwait = self._obs.start_span(
+                "lock-wait", parent=self._span_request, start=now,
+                agent=str(self.agent_id),
+            )
 
         hosts = self.marp.deployment.hosts
         self.tour_remaining = set(hosts) - {self.home}
@@ -142,6 +186,13 @@ class UpdateAgent(MobileAgent):
                 record.extra["visit_events_to_lock"] = self.visit_events
                 record.extra["win_reason"] = decision.reason
                 record.extra["parks"] = self.park_count
+            if self._obs is not None and self._span_lockwait is not None:
+                self._span_lockwait.finish(
+                    end=now, visits=self.visit_events,
+                    reason=decision.reason,
+                )
+                self._span_lockwait = None
+                self._m_visits.observe(len(self.visited))
 
             outcome = yield from self._claim_round(decision)
             if outcome == "committed":
@@ -171,6 +222,12 @@ class UpdateAgent(MobileAgent):
                 backoff_mean = max(
                     4 * self.config.claim_backoff, self.config.park_timeout
                 )
+            if self._obs is not None:
+                # The lock has to be re-acquired: open a fresh wait span.
+                self._span_lockwait = self._obs.start_span(
+                    "lock-wait", parent=self._span_request, start=env.now,
+                    agent=str(self.agent_id),
+                )
             if backoff_mean > 0:
                 yield env.timeout(self.stream.exponential(backoff_mean))
             yield from self._visit_current()
@@ -182,6 +239,18 @@ class UpdateAgent(MobileAgent):
             record.total_visits = self.visit_events
             record.extra["failed_claims"] = self.failed_claims
             record.status = status
+        if self._obs is not None:
+            if self._span_lockwait is not None:
+                self._span_lockwait.finish(end=now, status=status)
+                self._span_lockwait = None
+            if self._span_request is not None:
+                self._span_request.finish(end=now, status=status)
+            self._m_requests.inc(len(self.records), status=status)
+            for record in self.records:
+                if record.total_time is not None:
+                    self._m_att.observe(record.total_time, status=status)
+                if status == "committed" and record.lock_time is not None:
+                    self._m_alt.observe(record.lock_time)
         self.dispose()
 
     def _holds_lock(self, decision: Decision) -> bool:
@@ -205,13 +274,25 @@ class UpdateAgent(MobileAgent):
                 self.stream,
             )
             self._trace("migrate", detail=f"-> {dst}")
+            hop_span = None
+            if self._obs is not None:
+                hop_span = self._obs.start_span(
+                    "migrate", parent=self._span_request, start=env.now,
+                    agent=str(self.agent_id), src=self.location, dst=dst,
+                )
             try:
                 yield from self.migrate(dst)
             except ReplicaUnavailable:
                 # Paper §2: give up on this replica until the next round.
                 self.unavailable.add(dst)
+                if hop_span is not None:
+                    hop_span.finish(end=env.now, status="unavailable")
+                    self._m_migrations.inc(outcome="unavailable")
                 self._trace("unavailable", host=dst)
                 return
+            if hop_span is not None:
+                hop_span.finish(end=env.now)
+                self._m_migrations.inc(outcome="ok")
             self._trace("arrive")
             yield from self._visit_current()
             return
@@ -220,9 +301,18 @@ class UpdateAgent(MobileAgent):
         # until a lock release here, or the park timeout ([D2]).
         self.park_count += 1
         self._trace("park")
+        park_span = None
+        if self._obs is not None:
+            self._m_parks.inc(host=self.location)
+            park_span = self._obs.start_span(
+                "park", parent=self._span_request, start=env.now,
+                agent=str(self.agent_id), host=self.location,
+            )
         server: ReplicaServer = self.platform.service("replica")
         release = server.wait_release()
         yield release | env.timeout(self.config.park_timeout)
+        if park_span is not None:
+            park_span.finish(end=env.now)
         self._trace("wake")
         yield from self._visit_current()
 
@@ -309,6 +399,19 @@ class UpdateAgent(MobileAgent):
 
         self.claim_epoch += 1
         epoch = self.claim_epoch
+        claim_span = None
+        if self._obs is not None:
+            claim_span = self._obs.start_span(
+                "claim", parent=self._span_request, start=env.now,
+                agent=str(self.agent_id), epoch=epoch,
+            )
+
+        def _outcome(outcome: str) -> str:
+            if claim_span is not None:
+                claim_span.finish(end=env.now, status=outcome)
+                self._m_claims.inc(outcome=outcome)
+            return outcome
+
         self._trace("claim", detail=f"epoch {epoch}")
         self._broadcast("UPDATE")
 
@@ -347,7 +450,7 @@ class UpdateAgent(MobileAgent):
             base_values = yield from self._resolve_transforms(acked_versions)
             if base_values is _FETCH_FAILED:
                 self._broadcast("RELEASE")
-                return "timeout"
+                return _outcome("timeout")
             writes = self._assign_versions(
                 decision, acked_versions, base_values
             )
@@ -356,10 +459,10 @@ class UpdateAgent(MobileAgent):
                 "commit",
                 detail=", ".join(f"{w.key}=v{w.version}" for w in writes),
             )
-            return "committed"
+            return _outcome("committed")
 
         self._broadcast("RELEASE")
-        return "conflict" if nack_votes > 0 else "timeout"
+        return _outcome("conflict" if nack_votes > 0 else "timeout")
 
     def _resolve_transforms(self, acked_versions):
         """Fetch the freshest committed value for every RMW key.

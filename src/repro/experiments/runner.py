@@ -149,9 +149,24 @@ def build_protocol(deployment: Deployment, config: RunConfig):
 
 
 def run_once(config: RunConfig) -> RunResult:
-    """Build, run and measure one simulation."""
+    """Build, run and measure one simulation.
+
+    When an observability hub is active (process-wide via
+    :func:`repro.obs.enable`, since the deployment is built here), the
+    run is wrapped in an ``experiment.run`` span and finishes with an
+    ``experiment.summary`` event plus per-protocol summary counters.
+    """
     deployment = _build_deployment(config)
     protocol = build_protocol(deployment, config)
+    hub = deployment.obs
+    run_span = None
+    if hub is not None:
+        run_span = hub.start_span(
+            "experiment.run", start=deployment.env.now,
+            protocol=config.protocol, n_replicas=config.n_replicas,
+            seed=config.seed, latency=config.latency,
+            mean_interarrival=config.mean_interarrival,
+        )
     attach_clients(
         protocol,
         ExponentialArrivals(config.mean_interarrival),
@@ -164,7 +179,7 @@ def run_once(config: RunConfig) -> RunResult:
 
     records = protocol.records
     stats = deployment.network.stats
-    return RunResult(
+    result = RunResult(
         config=config,
         protocol_name=protocol.name,
         records=records,
@@ -184,6 +199,30 @@ def run_once(config: RunConfig) -> RunResult:
         sim_time=deployment.env.now,
         deployment=deployment,
     )
+    if hub is not None:
+        labels = {"protocol": result.protocol_name}
+        hub.counter(
+            "experiment_runs_total", "simulation runs measured",
+            ("protocol",),
+        ).inc(**labels)
+        hub.counter(
+            "experiment_committed_total", "requests committed per protocol",
+            ("protocol",),
+        ).inc(result.committed, **labels)
+        hub.counter(
+            "experiment_failed_total", "requests failed per protocol",
+            ("protocol",),
+        ).inc(result.failed, **labels)
+        hub.event(
+            "experiment.summary", time=result.sim_time, span=run_span,
+            protocol=result.protocol_name, seed=config.seed,
+            committed=result.committed, failed=result.failed,
+            alt_ms=result.alt, att_ms=result.att,
+            throughput_per_s=result.throughput,
+            consistent=result.audit.consistent,
+        )
+        run_span.finish(end=result.sim_time)
+    return result
 
 
 def run_repeats(config: RunConfig, repeats: int = 3) -> List[RunResult]:

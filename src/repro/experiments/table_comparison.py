@@ -21,7 +21,7 @@ substrate:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
@@ -77,7 +77,8 @@ class ComparisonTable:
         ]
         return format_table(headers, body, title=self.title)
 
-    def row_for(self, protocol: str, latency: str = None) -> ComparisonRow:
+    def row_for(self, protocol: str,
+                latency: Optional[str] = None) -> ComparisonRow:
         for row in self.rows:
             if row.protocol == protocol and (
                 latency is None or row.latency == latency

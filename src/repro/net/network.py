@@ -166,6 +166,17 @@ class Network:
         # per-(src, dst) arrival horizon used by fifo_links
         self._link_horizon: Dict[tuple, float] = {}
 
+    # -- observability -----------------------------------------------------
+
+    def attach_observability(self, hub) -> None:
+        """Bridge traffic accounting into an ObservabilityHub.
+
+        Delegates to :meth:`NetworkStats.bind_hub`; every subsequent
+        send/drop (messages and agent migrations alike) lands in the
+        hub's labelled ``net_*`` counters as well as :attr:`stats`.
+        """
+        self.stats.bind_hub(hub)
+
     # -- membership --------------------------------------------------------
 
     def register(self, host: str) -> Endpoint:

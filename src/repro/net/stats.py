@@ -9,18 +9,45 @@ transmission".
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 __all__ = ["NetworkStats"]
 
 
 class NetworkStats:
-    """Message/byte counters, by (category, kind)."""
+    """Message/byte counters, by (category, kind).
+
+    When an :class:`~repro.obs.hub.ObservabilityHub` is bound (see
+    :meth:`bind_hub`), every send/drop is mirrored into the hub's
+    labelled ``net_*`` counter families. The hub's counters are
+    cumulative across runs and are intentionally not touched by
+    :meth:`merge`/:meth:`clear`, which manage only the local tallies.
+    """
 
     def __init__(self) -> None:
         self.messages: Counter = Counter()
         self.bytes: Counter = Counter()
         self.dropped: Counter = Counter()
+        self._hub = None
+
+    # -- observability -----------------------------------------------------
+
+    def bind_hub(self, hub) -> None:
+        """Mirror traffic accounting into an observability hub."""
+        if hub is None or not getattr(hub, "enabled", False):
+            return
+        self._hub = hub
+        labels = ("category", "kind")
+        self._obs_messages = hub.counter(
+            "net_messages_total", "messages handed to the network", labels
+        )
+        self._obs_bytes = hub.counter(
+            "net_bytes_total", "payload bytes handed to the network", labels
+        )
+        self._obs_dropped = hub.counter(
+            "net_dropped_total", "messages dropped (crash/link fault)",
+            labels,
+        )
 
     # -- recording --------------------------------------------------------
 
@@ -28,20 +55,25 @@ class NetworkStats:
         key = (category, kind)
         self.messages[key] += 1
         self.bytes[key] += size_bytes
+        if self._hub is not None:
+            self._obs_messages.inc(category=category, kind=kind)
+            self._obs_bytes.inc(size_bytes, category=category, kind=kind)
 
     def record_drop(self, category: str, kind: str) -> None:
         self.dropped[(category, kind)] += 1
+        if self._hub is not None:
+            self._obs_dropped.inc(category=category, kind=kind)
 
     # -- queries -----------------------------------------------------------
 
-    def total_messages(self, category: str = None) -> int:
+    def total_messages(self, category: Optional[str] = None) -> int:
         if category is None:
             return sum(self.messages.values())
         return sum(
             count for (cat, _), count in self.messages.items() if cat == category
         )
 
-    def total_bytes(self, category: str = None) -> int:
+    def total_bytes(self, category: Optional[str] = None) -> int:
         if category is None:
             return sum(self.bytes.values())
         return sum(

@@ -1,0 +1,80 @@
+"""repro.obs — the unified observability layer.
+
+One-stop shop for telemetry: a labelled metrics registry
+(:class:`Counter` / :class:`Gauge` / :class:`Histogram`), span-based
+tracing over the simulation clock, and exporters (JSONL, Prometheus
+text, human tables). The :class:`ObservabilityHub` bundles all of it;
+install one process-wide with :func:`enable` or inject one into a
+:class:`~repro.replication.deployment.Deployment`.
+
+Typical use::
+
+    from repro import obs
+
+    hub = obs.enable()                  # instrument everything built next
+    table = run_comparison(...)         # any experiment entry point
+    print(obs.format_report(hub))
+    obs.write_jsonl(hub, "metrics.jsonl")
+
+The time-series monitors from :mod:`repro.sim.monitor` are re-exported
+here so analysis code has a single import for all measurement types.
+"""
+
+from repro.obs.export import (
+    format_report,
+    iter_jsonl_records,
+    prometheus_text,
+    read_jsonl,
+    summary_line,
+    write_jsonl,
+)
+from repro.obs.hub import (
+    ObservabilityHub,
+    disable,
+    enable,
+    get_hub,
+    set_hub,
+)
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Sample,
+)
+from repro.obs.selfcheck import self_check
+from repro.obs.tracing import ObsEvent, Span, SpanTracer
+from repro.sim.monitor import Monitor, StateMonitor
+
+__all__ = [
+    # hub lifecycle
+    "ObservabilityHub",
+    "get_hub",
+    "set_hub",
+    "enable",
+    "disable",
+    # metrics
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Sample",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    # tracing
+    "SpanTracer",
+    "Span",
+    "ObsEvent",
+    # exporters
+    "iter_jsonl_records",
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "format_report",
+    "summary_line",
+    # diagnostics
+    "self_check",
+    # time-series monitors (re-exported for one-stop imports)
+    "Monitor",
+    "StateMonitor",
+]

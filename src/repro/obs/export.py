@@ -1,0 +1,217 @@
+"""Exporters for the observability hub.
+
+Three output formats:
+
+* **JSONL** — one JSON object per line, ``type`` field distinguishing
+  ``metric`` / ``span`` / ``event`` records. Machine-readable, append-
+  friendly, round-trips via :func:`read_jsonl`.
+* **Prometheus text exposition** — the registry rendered in the
+  ``# TYPE`` / ``name{label="v"} value`` format, so a scrape endpoint
+  (or just ``curl | promtool``) can consume a run's metrics.
+* **Human report** — aligned text tables via
+  :mod:`repro.analysis.tables`, one for scalar metrics, one for
+  histograms, one summarising span families.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.analysis.tables import format_table
+from repro.obs.hub import ObservabilityHub
+from repro.obs.registry import Histogram, MetricsRegistry
+
+__all__ = [
+    "iter_jsonl_records",
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "format_report",
+    "summary_line",
+]
+
+
+def _finite(value: float) -> Any:
+    """JSON-safe number (inf/nan become strings)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def iter_jsonl_records(
+    hub: ObservabilityHub,
+    metrics: bool = True,
+    spans: bool = True,
+    events: bool = True,
+) -> Iterator[Dict[str, Any]]:
+    """Yield every hub record as a JSON-serialisable dict."""
+    if metrics:
+        for sample in hub.registry.collect():
+            yield {
+                "type": "metric",
+                "name": sample.name,
+                "kind": sample.kind,
+                "labels": sample.labels,
+                "value": _finite(sample.value),
+            }
+    if spans:
+        for span in hub.tracer.spans:
+            yield {
+                "type": "span",
+                "id": span.span_id,
+                "parent": span.parent_id,
+                "name": span.name,
+                "start": span.start,
+                "end": span.end,
+                "status": span.status,
+                "attrs": {k: _attr(v) for k, v in span.attrs.items()},
+            }
+    if events:
+        for event in hub.tracer.events:
+            yield {
+                "type": "event",
+                "name": event.name,
+                "time": event.time,
+                "span": event.span_id,
+                "attrs": {k: _attr(v) for k, v in event.attrs.items()},
+            }
+
+
+def _attr(value: Any) -> Any:
+    """Span/event attribute coerced to a JSON-safe value."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return _finite(value)
+    return str(value)
+
+
+def write_jsonl(hub: ObservabilityHub, path: str, metrics: bool = True,
+                spans: bool = True, events: bool = True) -> int:
+    """Dump the hub to a JSONL file; returns the number of lines."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in iter_jsonl_records(hub, metrics, spans, events):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL dump back into a list of record dicts."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} {instrument.help}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        for sample in instrument.samples():
+            if sample.labels:
+                rendered = ",".join(
+                    f'{key}="{value}"'
+                    for key, value in sorted(sample.labels.items())
+                )
+                lines.append(f"{sample.name}{{{rendered}}} {sample.value:g}")
+            else:
+                lines.append(f"{sample.name} {sample.value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def format_report(hub: ObservabilityHub,
+                  title: str = "observability report") -> str:
+    """Human-readable tables: metrics, histograms, span families."""
+    sections: List[str] = []
+
+    scalar_rows = []
+    histogram_rows = []
+    for instrument in hub.registry.instruments():
+        if isinstance(instrument, Histogram):
+            for sample in instrument.samples():
+                if not sample.name.endswith("_count"):
+                    continue
+                labels = {
+                    k: v for k, v in sample.labels.items() if k != "le"
+                }
+                histogram_rows.append([
+                    instrument.name,
+                    _render_labels(labels),
+                    int(sample.value),
+                    instrument.mean(**labels) if sample.value else None,
+                    instrument.sum(**labels),
+                ])
+        else:
+            for sample in instrument.samples():
+                scalar_rows.append([
+                    sample.name,
+                    _render_labels(sample.labels),
+                    instrument.kind,
+                    sample.value,
+                ])
+
+    if scalar_rows:
+        sections.append(format_table(
+            ["metric", "labels", "type", "value"], scalar_rows,
+            title=title,
+        ))
+    if histogram_rows:
+        sections.append(format_table(
+            ["histogram", "labels", "count", "mean", "sum"],
+            histogram_rows, title="distributions",
+        ))
+
+    span_rows = []
+    families: Dict[str, List[float]] = {}
+    open_count: Dict[str, int] = {}
+    for span in hub.tracer.spans:
+        if span.end is None:
+            open_count[span.name] = open_count.get(span.name, 0) + 1
+        else:
+            families.setdefault(span.name, []).append(span.duration)
+    for name in sorted(set(families) | set(open_count)):
+        durations = families.get(name, [])
+        span_rows.append([
+            name,
+            len(durations),
+            open_count.get(name, 0),
+            sum(durations) / len(durations) if durations else None,
+            max(durations) if durations else None,
+        ])
+    if span_rows:
+        sections.append(format_table(
+            ["span", "finished", "open", "mean(ms)", "max(ms)"],
+            span_rows, title="spans",
+        ))
+
+    if not sections:
+        return f"{title}\n{'=' * max(len(title), 8)}\n(no telemetry recorded)"
+    return "\n\n".join(sections)
+
+
+def summary_line(hub: ObservabilityHub,
+                 destination: Optional[str] = None) -> str:
+    """One end-of-run line: ``[obs] N metrics, N spans, N events``."""
+    parts = (
+        f"[obs] {len(hub.registry)} metrics, "
+        f"{len(hub.tracer.spans)} spans, {len(hub.tracer.events)} events"
+    )
+    if destination:
+        parts += f" -> {destination}"
+    return parts
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))

@@ -1,0 +1,141 @@
+"""The ObservabilityHub: one handle for metrics + traces.
+
+A hub bundles a :class:`~repro.obs.registry.MetricsRegistry` and a
+:class:`~repro.obs.tracing.SpanTracer`. It is **injectable** — pass one
+to :class:`~repro.replication.deployment.Deployment` — and also
+**process-wide**: :func:`enable` installs a global hub that every
+subsequently built deployment picks up, which is how the CLI's
+``--metrics-out`` flag instruments an existing experiment command
+without threading a parameter through every layer.
+
+Zero-cost discipline: instrumented components resolve their hub **once,
+at construction**, to either a live hub or ``None``; every hot-path
+record is guarded by a single ``if hub is not None`` attribute check.
+With no hub installed (the default) the simulator runs the exact same
+code it always did plus that one comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import ObsEvent, Span, SpanTracer
+
+__all__ = ["ObservabilityHub", "get_hub", "set_hub", "enable", "disable"]
+
+
+class ObservabilityHub:
+    """Unified telemetry sink: a metrics registry plus a span tracer."""
+
+    def __init__(self, enabled: bool = True,
+                 clock: Optional[Callable[[], float]] = None) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = SpanTracer(clock=clock)
+        self.enabled = bool(enabled)
+
+    # -- clock ------------------------------------------------------------
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Bind the tracer's time source (typically ``lambda: env.now``)."""
+        self.tracer.bind_clock(clock)
+
+    # -- registry passthrough ---------------------------------------------
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        """Get or create a counter in the hub's registry."""
+        return self.registry.counter(name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        """Get or create a gauge in the hub's registry."""
+        return self.registry.gauge(name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+                  ) -> Histogram:
+        """Get or create a histogram in the hub's registry."""
+        return self.registry.histogram(name, help, labelnames, buckets)
+
+    # -- tracer passthrough -----------------------------------------------
+
+    def span(self, name: str, **kwargs) -> Span:
+        """Open a span (usable as a context manager)."""
+        return self.tracer.span(name, **kwargs)
+
+    def start_span(self, name: str, **kwargs) -> Span:
+        """Open a span for explicit finish() (interleaved processes)."""
+        return self.tracer.start_span(name, **kwargs)
+
+    def event(self, name: str, **kwargs) -> ObsEvent:
+        """Record a point event."""
+        return self.tracer.event(name, **kwargs)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear all recorded metrics, spans and events."""
+        self.registry.clear()
+        self.tracer.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ObservabilityHub enabled={self.enabled} "
+            f"metrics={len(self.registry)} "
+            f"spans={len(self.tracer.spans)} "
+            f"events={len(self.tracer.events)}>"
+        )
+
+
+#: The process-wide hub (None unless :func:`enable`/:func:`set_hub` ran).
+_active_hub: Optional[ObservabilityHub] = None
+
+
+def get_hub() -> Optional[ObservabilityHub]:
+    """The installed process-wide hub, or ``None``.
+
+    Disabled hubs are reported as ``None`` so call sites can treat the
+    return value as "record here, unconditionally".
+    """
+    hub = _active_hub
+    if hub is not None and hub.enabled:
+        return hub
+    return None
+
+
+def set_hub(hub: Optional[ObservabilityHub]) -> Optional[ObservabilityHub]:
+    """Install (or, with ``None``, remove) the process-wide hub."""
+    global _active_hub
+    _active_hub = hub
+    return hub
+
+
+def enable(hub: Optional[ObservabilityHub] = None) -> ObservabilityHub:
+    """Install and enable a process-wide hub; returns it.
+
+    Reuses the currently installed hub when one exists, so repeated
+    calls accumulate into the same registry/trace.
+    """
+    global _active_hub
+    if hub is not None:
+        hub.enabled = True
+        _active_hub = hub
+    elif _active_hub is not None:
+        _active_hub.enabled = True
+    else:
+        _active_hub = ObservabilityHub(enabled=True)
+    return _active_hub
+
+
+def disable() -> None:
+    """Remove the process-wide hub (instrumentation reverts to no-ops)."""
+    global _active_hub
+    _active_hub = None

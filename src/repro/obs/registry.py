@@ -1,0 +1,324 @@
+"""The metrics registry: Counter, Gauge and Histogram instruments.
+
+Instruments follow the Prometheus data model restricted to what the
+reproduction needs: every instrument has a ``name``, a ``help`` string
+and a fixed tuple of ``labelnames`` (typically ``host``/``agent``/
+``protocol``); samples are keyed by the label *values*. Histograms use
+fixed upper-bound buckets, which is exactly right for the paper's
+bounded distributions (ALT/ATT in milliseconds, hop counts in
+``1..N``).
+
+All instruments are plain-Python and allocation-light: recording into a
+labelled counter is one dict lookup plus a float add, so an *enabled*
+hub stays cheap and a disabled one (the instruments are never called)
+costs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Sample",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+#: Default histogram buckets for millisecond latencies (ALT/ATT live in
+#: the tens-to-thousands range on the calibrated LAN/WAN profiles).
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 30_000.0, float("inf"),
+)
+
+LabelValues = Tuple[str, ...]
+
+
+class Sample:
+    """One exported measurement: ``name{labels} = value``."""
+
+    __slots__ = ("name", "labels", "value", "kind")
+
+    def __init__(self, name: str, labels: Dict[str, str], value: float,
+                 kind: str) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = value
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return f"<Sample {self.name} {self.labels} = {self.value}>"
+
+
+class _Instrument:
+    """Shared bookkeeping for all instrument types."""
+
+    kind = "untyped"
+
+    __slots__ = ("name", "help", "labelnames", "_series")
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = ()) -> None:
+        if not name or not name.replace("_", "a").isidentifier():
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: Dict[LabelValues, float] = {}
+
+    def _key(self, labels: Dict[str, str]) -> LabelValues:
+        if len(labels) != len(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        try:
+            return tuple(str(labels[n]) for n in self.labelnames)
+        except KeyError as missing:
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            ) from missing
+
+    def _label_dict(self, key: LabelValues) -> Dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    def clear(self) -> None:
+        """Drop every recorded series."""
+        self._series.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name!r} "
+            f"series={len(self._series)}>"
+        )
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (events, messages, commits)."""
+
+    kind = "counter"
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current count of one labelled series (0.0 if never touched)."""
+        return self._series.get(self._key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over all labelled series."""
+        return sum(self._series.values())
+
+    def samples(self) -> Iterator[Sample]:
+        for key, value in sorted(self._series.items()):
+            yield Sample(self.name, self._label_dict(key), value, self.kind)
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down (queue depth, LL length)."""
+
+    kind = "gauge"
+
+    __slots__ = ()
+
+    def set(self, value: float, **labels: str) -> None:
+        self._series[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        return self._series.get(self._key(labels), 0.0)
+
+    def samples(self) -> Iterator[Sample]:
+        for key, value in sorted(self._series.items()):
+            yield Sample(self.name, self._label_dict(key), value, self.kind)
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution (ALT/ATT latencies, hop counts).
+
+    ``buckets`` are inclusive upper bounds; a trailing ``+inf`` bucket is
+    appended when missing so every observation lands somewhere.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("buckets", "_counts", "_sums", "_totals")
+
+    def __init__(self, name: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+                 ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = [float(b) for b in buckets]
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram buckets must be sorted: {buckets}")
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.buckets: Tuple[float, ...] = tuple(bounds)
+        self._counts: Dict[LabelValues, List[int]] = {}
+        self._sums: Dict[LabelValues, float] = {}
+        self._totals: Dict[LabelValues, int] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = [0] * len(self.buckets)
+            self._counts[key] = counts
+            self._sums[key] = 0.0
+            self._totals[key] = 0
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[index] += 1
+                break
+        self._sums[key] += float(value)
+        self._totals[key] += 1
+
+    def count(self, **labels: str) -> int:
+        return self._totals.get(self._key(labels), 0)
+
+    def sum(self, **labels: str) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def mean(self, **labels: str) -> float:
+        key = self._key(labels)
+        total = self._totals.get(key, 0)
+        if not total:
+            return float("nan")
+        return self._sums[key] / total
+
+    def bucket_counts(self, **labels: str) -> Dict[float, int]:
+        """Cumulative ``upper_bound -> count`` (Prometheus ``le`` style)."""
+        key = self._key(labels)
+        counts = self._counts.get(key, [0] * len(self.buckets))
+        out: Dict[float, int] = {}
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            out[bound] = running
+        return out
+
+    def clear(self) -> None:
+        super().clear()
+        self._counts.clear()
+        self._sums.clear()
+        self._totals.clear()
+
+    def samples(self) -> Iterator[Sample]:
+        for key in sorted(self._counts):
+            labels = self._label_dict(key)
+            running = 0
+            for bound, count in zip(self.buckets, self._counts[key]):
+                running += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = (
+                    "+Inf" if bound == float("inf") else f"{bound:g}"
+                )
+                yield Sample(
+                    f"{self.name}_bucket", bucket_labels, float(running),
+                    self.kind,
+                )
+            yield Sample(
+                f"{self.name}_sum", labels, self._sums[key], self.kind
+            )
+            yield Sample(
+                f"{self.name}_count", labels, float(self._totals[key]),
+                self.kind,
+            )
+
+
+class MetricsRegistry:
+    """Named collection of instruments; get-or-create semantics.
+
+    Asking twice for the same name returns the same instrument, so
+    independent components (every replica server, the network, the
+    runner) can share one labelled family without coordination.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labelnames: Sequence[str], **kwargs):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            if existing.labelnames != tuple(labelnames):
+                raise ValueError(
+                    f"metric {name!r} already registered with labels "
+                    f"{existing.labelnames}, not {tuple(labelnames)}"
+                )
+            return existing
+        instrument = cls(name, help, labelnames, **kwargs)
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+                  ) -> Histogram:
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        """The instrument registered under ``name`` (None if absent)."""
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered instruments."""
+        return sorted(self._instruments)
+
+    def instruments(self) -> List[_Instrument]:
+        """All instruments, sorted by name."""
+        return [self._instruments[name] for name in self.names()]
+
+    def collect(self) -> Iterator[Sample]:
+        """Every sample of every instrument (exporter entry point)."""
+        for instrument in self.instruments():
+            yield from instrument.samples()
+
+    def clear(self) -> None:
+        """Reset every instrument's recorded series (keeps definitions)."""
+        for instrument in self._instruments.values():
+            instrument.clear()
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry instruments={len(self)}>"

@@ -1,0 +1,116 @@
+"""End-to-end self-check of the observability layer.
+
+Run from the CLI as ``python -m repro obs --self-check`` (CI executes
+this on every push). It exercises the full pipeline — registry
+semantics, span nesting, a real instrumented MARP run, JSONL round-trip
+and the Prometheus/report renderers — and raises ``AssertionError`` on
+the first discrepancy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import List
+
+__all__ = ["self_check"]
+
+
+def self_check(verbose: bool = False) -> List[str]:
+    """Run all checks; returns the list of check names that passed."""
+    from repro.obs import export, hub as hub_mod
+    from repro.obs.hub import ObservabilityHub
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracing import SpanTracer
+
+    passed: List[str] = []
+
+    def check(name: str, condition: bool) -> None:
+        assert condition, f"obs self-check failed: {name}"
+        passed.append(name)
+        if verbose:
+            print(f"  ok: {name}")
+
+    # -- registry semantics ----------------------------------------------
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", labelnames=("host",))
+    counter.inc(host="s1")
+    counter.inc(2, host="s1")
+    counter.inc(host="s2")
+    check("counter labelled accumulation",
+          counter.value(host="s1") == 3.0 and counter.total() == 4.0)
+    gauge = registry.gauge("g")
+    gauge.set(5.0)
+    gauge.dec(2.0)
+    check("gauge set/dec", gauge.value() == 3.0)
+    histogram = registry.histogram("h_ms", buckets=(1.0, 10.0))
+    for value in (0.5, 5.0, 50.0):
+        histogram.observe(value)
+    check("histogram buckets",
+          histogram.bucket_counts() == {1.0: 1, 10.0: 2, float("inf"): 3})
+    check("registry get-or-create",
+          registry.counter("c_total", labelnames=("host",)) is counter)
+
+    # -- span nesting ----------------------------------------------------
+    clock = {"t": 0.0}
+    tracer = SpanTracer(clock=lambda: clock["t"])
+    with tracer.span("outer") as outer:
+        clock["t"] = 1.0
+        with tracer.span("inner") as inner:
+            tracer.event("tick", time=1.5)
+            clock["t"] = 2.0
+        clock["t"] = 3.0
+    check("span parent link", inner.parent_id == outer.span_id)
+    check("span timestamps",
+          outer.duration == 3.0 and inner.duration == 1.0
+          and tracer.events[0].time == 1.5)
+
+    # -- instrumented run -------------------------------------------------
+    from repro.core.protocol import MARP
+    from repro.replication.deployment import Deployment
+
+    run_hub = ObservabilityHub()
+    deployment = Deployment(n_replicas=3, seed=0, obs=run_hub)
+    deployment.enable_tracing()  # protocol.* events join the hub stream
+    marp = MARP(deployment)
+    marp.submit_write("s1", "x", 1)
+    marp.submit_write("s2", "x", 2)
+    deployment.run(until=100_000)
+    names = run_hub.registry.names()
+    check("instrumented run emits metrics", len(names) >= 6)
+    check("sim events counted",
+          run_hub.registry.get("sim_events_total").total() > 0)
+    check("request spans recorded",
+          len(run_hub.tracer.spans_named("request")) == 2)
+    check("no dangling spans", not run_hub.tracer.open_spans())
+
+    # -- exporters --------------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "obs.jsonl")
+        written = export.write_jsonl(run_hub, path)
+        records = export.read_jsonl(path)
+        check("jsonl round-trip", written == len(records) and written > 0)
+        kinds = {record["type"] for record in records}
+        check("jsonl record types", kinds == {"metric", "span", "event"})
+        check("jsonl is valid json lines",
+              all(isinstance(r, dict) for r in records))
+        blob = json.dumps(records[0])
+        check("jsonl re-serialisable", isinstance(blob, str))
+    text = export.prometheus_text(run_hub.registry)
+    check("prometheus exposition",
+          "# TYPE sim_events_total counter" in text)
+    report = export.format_report(run_hub)
+    check("human report renders", "spans" in report)
+
+    # -- global hub lifecycle --------------------------------------------
+    previous = hub_mod._active_hub
+    try:
+        installed = hub_mod.enable()
+        check("enable installs hub", hub_mod.get_hub() is installed)
+        hub_mod.disable()
+        check("disable removes hub", hub_mod.get_hub() is None)
+    finally:
+        hub_mod.set_hub(previous)
+
+    return passed

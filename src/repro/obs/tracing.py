@@ -1,0 +1,225 @@
+"""Span-based tracing over the simulation clock.
+
+A :class:`Span` is a named interval with attributes and a parent link;
+an :class:`ObsEvent` is a named point-in-time record. Both are stamped
+with the *simulated* clock the tracer is bound to (milliseconds, like
+everything else in the repro), so traces line up exactly with the
+paper's ALT/ATT numbers.
+
+Two usage styles coexist:
+
+* ``with tracer.span("claim", agent=a):`` — synchronous nesting; the
+  tracer keeps an active-span stack and links children automatically.
+* ``span = tracer.start_span("migrate", parent=root)`` ...
+  ``span.finish()`` — explicit parents, for simulation processes whose
+  generators interleave (many agents in flight at once would corrupt a
+  stack, so the agent code passes its own root span around).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = ["Span", "ObsEvent", "SpanTracer"]
+
+Clock = Callable[[], float]
+
+
+class Span:
+    """One named interval in the trace; finish() closes it."""
+
+    __slots__ = (
+        "tracer", "span_id", "parent_id", "name", "start", "end",
+        "attrs", "status",
+    )
+
+    def __init__(self, tracer: "SpanTracer", span_id: int,
+                 parent_id: Optional[int], name: str, start: float,
+                 attrs: Dict[str, Any]) -> None:
+        self.tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs
+        self.status = "open"
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Span length in ms (nan while still open)."""
+        if self.end is None:
+            return float("nan")
+        return self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, end: Optional[float] = None, status: str = "ok",
+               **attrs: Any) -> "Span":
+        """Close the span (idempotent; the first finish wins)."""
+        if self.end is not None:
+            return self
+        self.end = float(end) if end is not None else self.tracer.now()
+        if self.end < self.start:
+            raise ValueError(
+                f"span {self.name!r} finished before it started: "
+                f"{self.end} < {self.start}"
+            )
+        self.status = status
+        if attrs:
+            self.attrs.update(attrs)
+        return self
+
+    # -- synchronous (stack-linked) usage ---------------------------------
+
+    def __enter__(self) -> "Span":
+        self.tracer._stack.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        self.finish(status="error" if exc_type is not None else "ok")
+
+    def __repr__(self) -> str:
+        end = f"{self.end:.2f}" if self.end is not None else "open"
+        return (
+            f"<Span #{self.span_id} {self.name!r} "
+            f"[{self.start:.2f}..{end}] {self.status}>"
+        )
+
+
+class ObsEvent:
+    """One named point-in-time record with free-form attributes."""
+
+    __slots__ = ("time", "name", "attrs", "span_id")
+
+    def __init__(self, time: float, name: str, attrs: Dict[str, Any],
+                 span_id: Optional[int] = None) -> None:
+        self.time = time
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+
+    def __repr__(self) -> str:
+        return f"<ObsEvent {self.time:.2f} {self.name!r}>"
+
+
+class SpanTracer:
+    """Records spans and events against an injectable clock.
+
+    The clock defaults to a constant 0.0 (useful for unit tests); a
+    deployment binds it to ``env.now`` so every record carries simulated
+    time. Explicit ``start=`` / ``end=`` / ``time=`` arguments override
+    the clock, which the instrumentation uses to stamp exact protocol
+    instants.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock: Optional[Clock] = clock
+        self.spans: List[Span] = []
+        self.events: List[ObsEvent] = []
+        self._stack: List[Span] = []
+        self._next_id = 1
+
+    # -- clock ------------------------------------------------------------
+
+    def bind_clock(self, clock: Clock) -> None:
+        """Point the tracer at a time source (e.g. ``lambda: env.now``)."""
+        self.clock = clock
+
+    def now(self) -> float:
+        """Current time per the bound clock (0.0 when unbound)."""
+        return self.clock() if self.clock is not None else 0.0
+
+    # -- recording --------------------------------------------------------
+
+    def start_span(self, name: str,
+                   parent: Optional[Union[Span, int]] = None,
+                   start: Optional[float] = None,
+                   **attrs: Any) -> Span:
+        """Open a span; link it under ``parent`` or the active stack top."""
+        if parent is None and self._stack:
+            parent_id: Optional[int] = self._stack[-1].span_id
+        elif isinstance(parent, Span):
+            parent_id = parent.span_id
+        else:
+            parent_id = parent
+        span = Span(
+            tracer=self,
+            span_id=self._next_id,
+            parent_id=parent_id,
+            name=name,
+            start=float(start) if start is not None else self.now(),
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def span(self, name: str, parent: Optional[Union[Span, int]] = None,
+             start: Optional[float] = None, **attrs: Any) -> Span:
+        """Context-manager form: ``with tracer.span("x"): ...``."""
+        return self.start_span(name, parent=parent, start=start, **attrs)
+
+    def event(self, name: str, time: Optional[float] = None,
+              span: Optional[Union[Span, int]] = None,
+              **attrs: Any) -> ObsEvent:
+        """Record a point event (optionally attached to a span)."""
+        if isinstance(span, Span):
+            span_id: Optional[int] = span.span_id
+        elif span is None and self._stack:
+            span_id = self._stack[-1].span_id
+        else:
+            span_id = span
+        record = ObsEvent(
+            time=float(time) if time is not None else self.now(),
+            name=name,
+            attrs=attrs,
+            span_id=span_id,
+        )
+        self.events.append(record)
+        return record
+
+    # -- queries ----------------------------------------------------------
+
+    def spans_named(self, name: str) -> List[Span]:
+        """All spans with the given name, in start order of recording."""
+        return [s for s in self.spans if s.name == name]
+
+    def events_named(self, name: str) -> List[ObsEvent]:
+        """All events with the given name, in recording order."""
+        return [e for e in self.events if e.name == name]
+
+    def children_of(self, span: Union[Span, int]) -> List[Span]:
+        """Direct children of a span."""
+        parent_id = span.span_id if isinstance(span, Span) else span
+        return [s for s in self.spans if s.parent_id == parent_id]
+
+    def open_spans(self) -> List[Span]:
+        """Spans not yet finished (should be empty after a clean run)."""
+        return [s for s in self.spans if s.end is None]
+
+    def clear(self) -> None:
+        """Drop every recorded span and event."""
+        self.spans.clear()
+        self.events.clear()
+        self._stack.clear()
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.spans) + len(self.events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SpanTracer spans={len(self.spans)} "
+            f"events={len(self.events)}>"
+        )

@@ -44,6 +44,11 @@ class Deployment:
         Crash windows / link faults (default: none).
     replica_config, mobility_policy, cost_model:
         Substrate tunables, shared by all hosts.
+    obs:
+        An :class:`~repro.obs.hub.ObservabilityHub` to instrument this
+        deployment with. Defaults to the process-wide hub installed via
+        :func:`repro.obs.enable` (``None``/disabled → no telemetry and
+        no overhead).
     """
 
     def __init__(
@@ -57,7 +62,13 @@ class Deployment:
         mobility_policy: Optional[MobilityPolicy] = None,
         cost_model: Optional[MigrationCostModel] = None,
         host_prefix: str = "s",
+        obs=None,
     ) -> None:
+        from repro.obs.hub import get_hub
+
+        hub = obs if obs is not None else get_hub()
+        #: the observability hub, or None when telemetry is off
+        self.obs = hub if (hub is not None and hub.enabled) else None
         if topology is None:
             if n_replicas < 1:
                 raise ReplicationError(f"need at least 1 replica: {n_replicas}")
@@ -67,6 +78,9 @@ class Deployment:
         self.n_replicas = len(self.hosts)
 
         self.env = Environment()
+        if self.obs is not None:
+            self.obs.bind_clock(lambda: self.env.now)
+            self.env.attach_observability(self.obs)
         self.streams = RandomStreams(seed)
         self.topology = topology
         self.faults = faults or FaultPlan.none()
@@ -77,6 +91,8 @@ class Deployment:
             faults=self.faults,
             streams=self.streams,
         )
+        if self.obs is not None:
+            self.network.attach_observability(self.obs)
         self.directory = PlatformDirectory()
         self.replica_config = replica_config or ReplicaConfig()
         policy = mobility_policy or MobilityPolicy()
@@ -94,6 +110,8 @@ class Deployment:
                 peers=self.hosts, config=self.replica_config,
             )
             platform.provide("replica", server)
+            if self.obs is not None:
+                server.attach_observability(self.obs)
             self.platforms[host] = platform
             self.servers[host] = server
 
@@ -112,11 +130,17 @@ class Deployment:
         :class:`~repro.analysis.tracelog.TraceEvent`s. ``capacity``
         bounds memory for long runs (events beyond it are counted as
         dropped).
+
+        When the deployment has an observability hub, the trace is a
+        view over the hub's unified span/event stream, so protocol
+        events also appear in JSONL exports; without a hub the trace
+        gets a private stream (the pre-obs behaviour, bit for bit).
         """
         from repro.analysis.tracelog import ProtocolTrace
 
         if self.trace is None:
-            self.trace = ProtocolTrace(capacity=capacity)
+            tracer = self.obs.tracer if self.obs is not None else None
+            self.trace = ProtocolTrace(capacity=capacity, tracer=tracer)
             for server in self.servers.values():
                 server.trace = self.trace
         return self.trace

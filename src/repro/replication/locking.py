@@ -15,7 +15,7 @@ granted to the agent ranked *top* in the LLs of a majority of servers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.agents.identity import AgentId

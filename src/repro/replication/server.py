@@ -19,7 +19,7 @@ peer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError
@@ -174,6 +174,8 @@ class ReplicaServer:
         #: optional StateMonitor of the Locking List length, injected by
         #: Deployment.enable_queue_monitoring
         self.queue_monitor = None
+        #: optional ObservabilityHub, injected by the deployment
+        self._obs = None
 
         self._loop_process = env.process(
             self._message_loop(), name=f"replica-loop-{host}"
@@ -305,9 +307,38 @@ class ReplicaServer:
             elif msg.kind == "READQ":
                 self._on_read_query(msg)
 
+    def attach_observability(self, hub) -> None:
+        """Register this replica's metric families with a hub.
+
+        Emits the Locking-List length gauge, the grant-latency histogram
+        (UPDATE send → ACK issued, i.e. what a claimer actually waits
+        per replica) and grant/apply counters, all labelled by host.
+        """
+        if hub is None or not getattr(hub, "enabled", False):
+            return
+        self._obs = hub
+        self._obs_ll = hub.gauge(
+            "replica_ll_length", "Locking List length", ("host",)
+        )
+        self._obs_grant_latency = hub.histogram(
+            "replica_grant_latency_ms",
+            "latency from UPDATE send to grant (ACK) issued", ("host",),
+        )
+        self._obs_grants = hub.counter(
+            "replica_grants_total", "grant decisions on UPDATE messages",
+            ("host", "outcome"),
+        )
+        self._obs_applies = hub.counter(
+            "replica_commits_applied_total", "committed writes applied",
+            ("host",),
+        )
+        self._obs_ll.set(len(self.locking_list), host=self.host)
+
     def _note_queue(self) -> None:
         if self.queue_monitor is not None:
             self.queue_monitor.set(self.env.now, len(self.locking_list))
+        if self._obs is not None:
+            self._obs_ll.set(len(self.locking_list), host=self.host)
 
     def _trace(self, kind: str, agent_id=None, request_id=None,
                detail: str = "") -> None:
@@ -365,6 +396,11 @@ class ReplicaServer:
             self._grant_expires_at = self.env.now + self.config.grant_ttl
             self._pending_updates[payload.batch_id] = payload
             self.acks_sent += 1
+            if self._obs is not None:
+                self._obs_grants.inc(host=self.host, outcome="ack")
+                self._obs_grant_latency.observe(
+                    self.env.now - msg.sent_at, host=self.host
+                )
             self._trace("grant", agent_id=payload.agent_id,
                         request_id=payload.batch_id,
                         detail=f"epoch {payload.epoch}")
@@ -380,6 +416,8 @@ class ReplicaServer:
             )
         else:
             self.nacks_sent += 1
+            if self._obs is not None:
+                self._obs_grants.inc(host=self.host, outcome="nack")
             self._trace("nack", agent_id=payload.agent_id,
                         request_id=payload.batch_id,
                         detail=f"held by {self._grant_holder}")
@@ -417,6 +455,8 @@ class ReplicaServer:
                     )
                 )
                 self.commits_applied += 1
+                if self._obs is not None:
+                    self._obs_applies.inc(host=self.host)
                 self._trace("apply", agent_id=payload.agent_id,
                             request_id=write.request_id,
                             detail=f"{write.key}=v{write.version}")

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 import threading
 import time
-from typing import Dict, List
+from typing import List
 
 from repro.errors import WorkloadError
 from repro.replication.requests import WRITE, RequestRecord

@@ -12,6 +12,7 @@ at the same timestamp.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError, StopSimulation
@@ -193,6 +194,49 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
+        # Observability (None = disabled; see attach_observability). The
+        # disabled path adds no per-step work: instrumentation lives in a
+        # shadowing `step` bound only when a live hub is attached.
+        self._obs = None
+        self._steps = 0
+
+    # -- observability ----------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        """Events processed while observed (0 when never observed)."""
+        return self._steps
+
+    def attach_observability(self, hub) -> None:
+        """Instrument the kernel with an ObservabilityHub.
+
+        Registers ``sim_events_total``, ``sim_queue_depth`` (+ a depth
+        histogram), ``sim_time_ms`` and ``sim_wall_seconds_total``, and
+        swaps in an instrumented ``step``. A ``None`` or disabled hub is
+        ignored, keeping the default event loop untouched.
+        """
+        if hub is None or not getattr(hub, "enabled", False):
+            return
+        self._obs = hub
+        self._obs_events = hub.counter(
+            "sim_events_total", "events processed by the sim kernel"
+        )
+        self._obs_queue = hub.gauge(
+            "sim_queue_depth", "scheduled events currently pending"
+        )
+        self._obs_queue_hist = hub.histogram(
+            "sim_queue_depth_hist", "queue depth sampled at every step",
+            buckets=(0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000),
+        )
+        self._obs_sim_time = hub.gauge(
+            "sim_time_ms", "current simulated clock"
+        )
+        self._obs_wall = hub.counter(
+            "sim_wall_seconds_total", "wall-clock seconds spent in run()"
+        )
+        # Shadow the class method: only observed environments pay for
+        # per-step accounting.
+        self.step = self._step_observed  # type: ignore[method-assign]
 
     # -- clock ----------------------------------------------------------
 
@@ -271,6 +315,16 @@ class Environment:
             exc = event._value
             raise exc
 
+    def _step_observed(self) -> None:
+        """Instrumented variant of :meth:`step` (bound by
+        :meth:`attach_observability`)."""
+        Environment.step(self)
+        self._steps += 1
+        self._obs_events.inc()
+        depth = len(self._queue)
+        self._obs_queue.set(depth)
+        self._obs_queue_hist.observe(depth)
+
     def run(self, until: Any = None) -> Any:
         """Run the simulation.
 
@@ -309,11 +363,18 @@ class Environment:
             # exactly `until` are processed.
             self.schedule(stop_event, delay=at - self._now, priority=URGENT)
 
+        wall_start = (
+            _time.perf_counter() if self._obs is not None else None
+        )
         try:
             while self._queue:
                 self.step()
         except StopSimulation as stop:
             return stop.value
+        finally:
+            if wall_start is not None:
+                self._obs_wall.inc(_time.perf_counter() - wall_start)
+                self._obs_sim_time.set(self._now)
 
         if stop_event is not None and isinstance(until, Event):
             raise SimulationError(

@@ -55,6 +55,11 @@ class Monitor:
         self._times.clear()
         self._values.clear()
 
+    def reset(self) -> None:
+        """Drop all observations (alias of :meth:`clear`, for symmetry
+        with :meth:`StateMonitor.reset`)."""
+        self.clear()
+
     def __repr__(self) -> str:
         return f"<Monitor {self.name!r} n={len(self)}>"
 
@@ -91,16 +96,35 @@ class StateMonitor:
         return self._states[-1]
 
     def time_average(self, until: float) -> float:
-        """Time-weighted mean of the state over ``[first sample, until]``."""
+        """Time-weighted mean of the state over ``[first sample, until]``.
+
+        Zero-duration windows (``until`` at — or before — the first
+        sample, or every sample at one instant) have no well-defined
+        integral; the current state is returned instead of dividing by
+        the zero-width window.
+        """
         if not self._times:
             return float("nan")
         times = np.asarray(self._times + [float(until)])
         states = np.asarray(self._states)
-        widths = np.diff(times)
-        total = times[-1] - times[0]
+        total = float(times[-1] - times[0])
         if total <= 0:
             return float(states[-1])
+        widths = np.diff(times)
         return float(np.dot(widths, states) / total)
+
+    def reset(self, initial: Optional[float] = None,
+              time: float = 0.0) -> None:
+        """Forget all samples; optionally re-seed an initial state.
+
+        Lets long-lived monitors (e.g. the per-server Locking-List
+        monitors) start a fresh measurement window without rebuilding
+        the deployment wiring.
+        """
+        self._times.clear()
+        self._states.clear()
+        if initial is not None:
+            self.set(time, initial)
 
     def samples(self) -> Tuple[np.ndarray, np.ndarray]:
         return (

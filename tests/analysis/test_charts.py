@@ -1,7 +1,5 @@
 """Tests for ASCII chart rendering and queue monitoring."""
 
-import math
-
 import pytest
 
 from repro.analysis.charts import ascii_chart, sparkline

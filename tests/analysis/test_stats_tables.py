@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.analysis.stats import Summary, confidence_interval, summarize
+from repro.analysis.stats import confidence_interval, summarize
 from repro.analysis.tables import format_cell, format_series, format_table
 
 

@@ -12,7 +12,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "fig2", "fig3", "fig4", "compare", "wan", "theorems",
-            "ablations", "live", "all",
+            "ablations", "live", "obs", "all",
         ):
             assert parser.parse_args([command]).command == command
 
@@ -27,6 +27,9 @@ class TestParser:
         assert args.seed == 0
         assert not args.quick
         assert args.format == "text"
+        assert args.metrics_out is None
+        assert args.trace_out is None
+        assert not args.self_check
 
     def test_options(self):
         args = build_parser().parse_args(
@@ -73,3 +76,49 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "committed 6/6" in out
         assert "consistent=True" in out
+
+
+class TestObsCommand:
+    def test_obs_quick_report(self, capsys):
+        code = main(["obs", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "marp_att_ms" in out
+        assert "consistent=True" in out
+        assert "[obs] " in out
+
+    def test_obs_self_check(self, capsys):
+        code = main(["obs", "--self-check"])
+        assert code == 0
+        assert "checks passed" in capsys.readouterr().out
+
+    def test_obs_leaves_no_global_hub(self):
+        from repro.obs import get_hub
+
+        main(["obs", "--quick"])
+        assert get_hub() is None
+
+    def test_unwritable_export_path_fails_fast(self):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["obs", "--quick",
+                  "--metrics-out", "/nonexistent-dir/m.jsonl"])
+
+    def test_metrics_out_on_experiment_command(self, tmp_path, capsys):
+        from repro.obs.export import read_jsonl
+
+        metrics_path = tmp_path / "m.jsonl"
+        trace_path = tmp_path / "t.jsonl"
+        code = main([
+            "fig4", "--quick", "--requests", "4",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"-> {metrics_path}" in out
+        metrics = read_jsonl(str(metrics_path))
+        assert len({r["name"] for r in metrics}) >= 6
+        assert all(r["type"] == "metric" for r in metrics)
+        trace = read_jsonl(str(trace_path))
+        assert {r["type"] for r in trace} <= {"span", "event"}
+        assert any(r["name"] == "experiment.run" for r in trace)

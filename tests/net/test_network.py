@@ -7,7 +7,6 @@ from repro.net.faults import CrashSchedule, FaultPlan, TransientLinkFaults
 from repro.net.latency import ConstantLatency
 from repro.net.network import Network
 from repro.net.topology import Topology
-from repro.sim.core import Environment
 from repro.sim.rng import RandomStreams
 
 

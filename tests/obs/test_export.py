@@ -1,0 +1,102 @@
+"""Exporter tests: JSONL round-trip, Prometheus text, human report."""
+
+import json
+
+from repro.obs.export import (
+    format_report,
+    prometheus_text,
+    read_jsonl,
+    summary_line,
+    write_jsonl,
+)
+from repro.obs.hub import ObservabilityHub
+
+
+def make_populated_hub():
+    hub = ObservabilityHub()
+    hub.counter("ops_total", "operations", ("host",)).inc(3, host="s1")
+    hub.gauge("depth").set(7.0)
+    hub.histogram("lat_ms", buckets=(1.0, 10.0)).observe(5.0)
+    span = hub.start_span("request", start=0.0, agent="u1")
+    hub.event("tick", time=1.0, span=span, detail="x")
+    span.finish(end=2.0)
+    return hub
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        hub = make_populated_hub()
+        path = str(tmp_path / "obs.jsonl")
+        written = write_jsonl(hub, path)
+        records = read_jsonl(path)
+        assert written == len(records) > 0
+        assert {record["type"] for record in records} == {
+            "metric", "span", "event",
+        }
+
+    def test_selective_streams(self, tmp_path):
+        hub = make_populated_hub()
+        metrics_path = str(tmp_path / "m.jsonl")
+        trace_path = str(tmp_path / "t.jsonl")
+        write_jsonl(hub, metrics_path, spans=False, events=False)
+        write_jsonl(hub, trace_path, metrics=False)
+        assert all(
+            record["type"] == "metric"
+            for record in read_jsonl(metrics_path)
+        )
+        assert all(
+            record["type"] in ("span", "event")
+            for record in read_jsonl(trace_path)
+        )
+
+    def test_span_record_shape(self, tmp_path):
+        hub = make_populated_hub()
+        path = str(tmp_path / "obs.jsonl")
+        write_jsonl(hub, path)
+        spans = [r for r in read_jsonl(path) if r["type"] == "span"]
+        assert spans[0]["name"] == "request"
+        assert spans[0]["start"] == 0.0
+        assert spans[0]["end"] == 2.0
+        assert spans[0]["attrs"] == {"agent": "u1"}
+        events = [r for r in read_jsonl(path) if r["type"] == "event"]
+        assert events[0]["span"] == spans[0]["id"]
+
+    def test_non_finite_values_stay_json_safe(self, tmp_path):
+        hub = ObservabilityHub()
+        span = hub.start_span("odd", start=0.0, ratio=float("nan"))
+        span.finish(end=1.0)
+        path = str(tmp_path / "obs.jsonl")
+        write_jsonl(hub, path)
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                json.loads(line)  # must not contain bare NaN/Infinity
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        hub = make_populated_hub()
+        text = prometheus_text(hub.registry)
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{host="s1"} 3' in text
+        assert "# TYPE lat_ms histogram" in text
+        assert 'lat_ms_bucket{le="+Inf"} 1' in text
+        assert "lat_ms_count 1" in text
+
+
+class TestReport:
+    def test_report_sections(self):
+        report = format_report(make_populated_hub(), title="demo")
+        assert "demo" in report
+        assert "ops_total" in report
+        assert "lat_ms" in report
+        assert "request" in report
+
+    def test_empty_hub_report(self):
+        report = format_report(ObservabilityHub())
+        assert "no telemetry" in report
+
+    def test_summary_line(self):
+        hub = make_populated_hub()
+        line = summary_line(hub, destination="out.jsonl")
+        assert line.startswith("[obs] ")
+        assert "-> out.jsonl" in line

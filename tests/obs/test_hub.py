@@ -1,0 +1,86 @@
+"""Hub lifecycle and deployment-injection tests."""
+
+import pytest
+
+from repro.obs import hub as hub_mod
+from repro.obs.hub import (
+    ObservabilityHub,
+    disable,
+    enable,
+    get_hub,
+    set_hub,
+)
+from repro.replication.deployment import Deployment
+
+
+@pytest.fixture(autouse=True)
+def isolate_global_hub():
+    previous = hub_mod._active_hub
+    set_hub(None)
+    yield
+    set_hub(previous)
+
+
+class TestGlobalLifecycle:
+    def test_default_is_none(self):
+        assert get_hub() is None
+
+    def test_enable_installs_and_disable_removes(self):
+        hub = enable()
+        assert get_hub() is hub
+        disable()
+        assert get_hub() is None
+
+    def test_enable_reuses_installed_hub(self):
+        first = enable()
+        first.counter("x_total").inc()
+        second = enable()
+        assert second is first
+        assert second.registry.get("x_total").total() == 1.0
+
+    def test_disabled_hub_reported_as_none(self):
+        set_hub(ObservabilityHub(enabled=False))
+        assert get_hub() is None
+
+
+class TestDeploymentInjection:
+    def test_no_hub_means_no_telemetry(self):
+        deployment = Deployment(n_replicas=3, seed=0)
+        assert deployment.obs is None
+        assert deployment.env.events_processed == 0
+
+    def test_explicit_hub_overrides_global(self):
+        global_hub = enable()
+        local_hub = ObservabilityHub()
+        deployment = Deployment(n_replicas=3, seed=0, obs=local_hub)
+        assert deployment.obs is local_hub
+        deployment.run(until=10.0)
+        assert len(global_hub.registry) == 0
+
+    def test_global_hub_picked_up(self):
+        hub = enable()
+        deployment = Deployment(n_replicas=3, seed=0)
+        assert deployment.obs is hub
+
+    def test_disabled_injected_hub_ignored(self):
+        deployment = Deployment(
+            n_replicas=3, seed=0, obs=ObservabilityHub(enabled=False)
+        )
+        assert deployment.obs is None
+
+    def test_clock_bound_to_sim_time(self):
+        hub = ObservabilityHub()
+        deployment = Deployment(n_replicas=3, seed=0, obs=hub)
+        deployment.run(until=123.0)
+        assert hub.tracer.now() == deployment.env.now
+
+    def test_hub_reset(self):
+        hub = ObservabilityHub()
+        counter = hub.counter("x_total")
+        counter.inc()
+        hub.start_span("s").finish()
+        hub.event("e")
+        hub.reset()
+        assert counter.total() == 0.0
+        assert list(hub.registry.collect()) == []
+        assert len(hub.tracer) == 0

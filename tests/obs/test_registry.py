@@ -1,0 +1,160 @@
+"""Unit tests for Counter / Gauge / Histogram / MetricsRegistry."""
+
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates_per_label_set(self):
+        counter = Counter("ops_total", labelnames=("host",))
+        counter.inc(host="s1")
+        counter.inc(2.5, host="s1")
+        counter.inc(host="s2")
+        assert counter.value(host="s1") == 3.5
+        assert counter.value(host="s2") == 1.0
+        assert counter.total() == 4.5
+
+    def test_unlabelled_counter(self):
+        counter = Counter("n_total")
+        counter.inc()
+        counter.inc(9)
+        assert counter.value() == 10.0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("n_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_missing_label_rejected(self):
+        counter = Counter("ops_total", labelnames=("host",))
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_unknown_label_rejected(self):
+        counter = Counter("ops_total", labelnames=("host",))
+        with pytest.raises(ValueError):
+            counter.inc(host="s1", shard="x")
+
+    def test_unobserved_value_is_zero(self):
+        assert Counter("n_total").value() == 0.0
+
+    def test_samples(self):
+        counter = Counter("ops_total", labelnames=("host",))
+        counter.inc(host="s1")
+        samples = list(counter.samples())
+        assert len(samples) == 1
+        assert samples[0].labels == {"host": "s1"}
+        assert samples[0].value == 1.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value() == 13.0
+
+    def test_gauge_may_go_negative(self):
+        gauge = Gauge("delta")
+        gauge.dec(4.0)
+        assert gauge.value() == -4.0
+
+    def test_labelled_gauge(self):
+        gauge = Gauge("ll_length", labelnames=("host",))
+        gauge.set(3.0, host="s1")
+        gauge.set(7.0, host="s2")
+        assert gauge.value(host="s1") == 3.0
+        assert gauge.value(host="s2") == 7.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = Histogram("lat_ms", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        assert histogram.bucket_counts() == {
+            1.0: 1, 10.0: 2, 100.0: 3, float("inf"): 4,
+        }
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(555.5)
+        assert histogram.mean() == pytest.approx(555.5 / 4)
+
+    def test_boundary_value_falls_in_bucket(self):
+        histogram = Histogram("lat_ms", buckets=(10.0,))
+        histogram.observe(10.0)  # le=10 is inclusive (Prometheus semantics)
+        assert histogram.bucket_counts()[10.0] == 1
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat_ms", buckets=(10.0, 1.0))
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram("lat_ms", buckets=(1.0,)).mean())
+
+    def test_samples_include_bucket_sum_count(self):
+        histogram = Histogram("lat_ms", buckets=(1.0,))
+        histogram.observe(0.5)
+        names = {sample.name for sample in histogram.samples()}
+        assert names == {"lat_ms_bucket", "lat_ms_sum", "lat_ms_count"}
+        le_values = {
+            sample.labels["le"]
+            for sample in histogram.samples()
+            if sample.name == "lat_ms_bucket"
+        }
+        assert le_values == {"1", "+Inf"}
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("ops_total", labelnames=("host",))
+        second = registry.counter("ops_total", labelnames=("host",))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(ValueError):
+            registry.gauge("x_total")
+
+    def test_labelname_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", labelnames=("host",))
+        with pytest.raises(ValueError):
+            registry.counter("x_total", labelnames=("agent",))
+
+    def test_invalid_metric_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name!")
+
+    def test_collect_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc()
+        registry.gauge("b").set(2.0)
+        assert "a_total" in registry
+        assert "missing" not in registry
+        assert registry.get("missing") is None
+        collected = {sample.name for sample in registry.collect()}
+        assert collected == {"a_total", "b"}
+        assert registry.names() == ["a_total", "b"]
+
+    def test_clear_zeroes_series_but_keeps_definitions(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a_total")
+        counter.inc()
+        registry.clear()
+        # definitions survive: components holding instrument references
+        # keep recording into the same (now empty) series
+        assert registry.get("a_total") is counter
+        assert counter.total() == 0.0
+        assert list(registry.collect()) == []

@@ -1,0 +1,119 @@
+"""Unit tests for Span / ObsEvent / SpanTracer."""
+
+import math
+
+import pytest
+
+from repro.obs.tracing import SpanTracer
+
+
+def make_clocked_tracer():
+    clock = {"t": 0.0}
+    tracer = SpanTracer(clock=lambda: clock["t"])
+    return clock, tracer
+
+
+class TestSpanLifecycle:
+    def test_start_finish_duration(self):
+        clock, tracer = make_clocked_tracer()
+        span = tracer.start_span("work")
+        assert math.isnan(span.duration)
+        clock["t"] = 5.0
+        span.finish()
+        assert span.duration == 5.0
+        assert span.status == "ok"
+        assert span.finished
+
+    def test_explicit_timestamps_override_clock(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("work", start=10.0)
+        span.finish(end=25.0, status="failed", reason="timeout")
+        assert span.duration == 15.0
+        assert span.status == "failed"
+        assert span.attrs["reason"] == "timeout"
+
+    def test_finish_is_idempotent(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("work", start=0.0)
+        span.finish(end=1.0)
+        span.finish(end=99.0, status="late")
+        assert span.end == 1.0
+        assert span.status == "ok"
+
+    def test_finish_before_start_rejected(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("work", start=10.0)
+        with pytest.raises(ValueError):
+            span.finish(end=5.0)
+
+
+class TestNesting:
+    def test_context_manager_links_children(self):
+        clock, tracer = make_clocked_tracer()
+        with tracer.span("outer") as outer:
+            clock["t"] = 1.0
+            with tracer.span("inner") as inner:
+                clock["t"] = 2.0
+            clock["t"] = 3.0
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+        assert tracer.children_of(outer) == [inner]
+
+    def test_explicit_parent_for_interleaved_processes(self):
+        tracer = SpanTracer()
+        root_a = tracer.start_span("request", start=0.0, agent="a")
+        root_b = tracer.start_span("request", start=0.0, agent="b")
+        hop_a = tracer.start_span("migrate", parent=root_a, start=1.0)
+        hop_b = tracer.start_span("migrate", parent=root_b, start=1.0)
+        assert hop_a.parent_id == root_a.span_id
+        assert hop_b.parent_id == root_b.span_id
+        assert tracer.children_of(root_a) == [hop_a]
+
+    def test_exception_marks_span_error(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work") as span:
+                raise RuntimeError("boom")
+        assert span.status == "error"
+        assert span.finished
+
+    def test_open_spans(self):
+        tracer = SpanTracer()
+        span = tracer.start_span("work")
+        assert tracer.open_spans() == [span]
+        span.finish()
+        assert tracer.open_spans() == []
+
+
+class TestEvents:
+    def test_event_timestamps(self):
+        clock, tracer = make_clocked_tracer()
+        clock["t"] = 4.0
+        event = tracer.event("tick", detail="x")
+        assert event.time == 4.0
+        assert event.attrs["detail"] == "x"
+        assert tracer.event("tock", time=9.0).time == 9.0
+
+    def test_event_attaches_to_active_span(self):
+        tracer = SpanTracer()
+        with tracer.span("outer") as outer:
+            event = tracer.event("tick")
+        assert event.span_id == outer.span_id
+
+    def test_queries_and_clear(self):
+        tracer = SpanTracer()
+        tracer.start_span("a").finish()
+        tracer.event("e")
+        assert len(tracer.spans_named("a")) == 1
+        assert len(tracer.events_named("e")) == 1
+        assert len(tracer) == 2
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_unbound_clock_reads_zero(self):
+        tracer = SpanTracer()
+        assert tracer.now() == 0.0
+        tracer.bind_clock(lambda: 42.0)
+        assert tracer.now() == 42.0

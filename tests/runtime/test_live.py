@@ -7,7 +7,6 @@ import pytest
 from repro.agents.identity import AgentId
 from repro.errors import NetworkError, ReplicationError
 from repro.runtime.cluster import LiveCluster
-from repro.runtime.host import LiveConfig
 from repro.runtime.shipping import LiveAgentState, ship, unship
 from repro.runtime.transport import LiveMessage, LiveTransport
 

@@ -39,6 +39,12 @@ class TestMonitor:
         monitor.clear()
         assert len(monitor) == 0
 
+    def test_reset_aliases_clear(self):
+        monitor = Monitor()
+        monitor.record(0, 1)
+        monitor.reset()
+        assert len(monitor) == 0
+
 
 class TestStateMonitor:
     def test_time_average_of_step_function(self):
@@ -73,3 +79,27 @@ class TestStateMonitor:
         times, states = monitor.samples()
         assert times.tolist() == [0.0, 5.0]
         assert states.tolist() == [1.0, 3.0]
+
+    def test_zero_duration_window_returns_current_state(self):
+        monitor = StateMonitor(initial=2.0, time=10.0)
+        monitor.set(10.0, 6.0)  # same instant: window width is 0
+        assert monitor.time_average(until=10.0) == 6.0
+
+    def test_until_before_first_sample_returns_current_state(self):
+        monitor = StateMonitor(initial=4.0, time=10.0)
+        assert monitor.time_average(until=5.0) == 4.0
+
+    def test_reset(self):
+        monitor = StateMonitor(initial=1.0, time=0.0)
+        monitor.set(5.0, 3.0)
+        monitor.reset()
+        assert math.isnan(monitor.time_average(until=10.0))
+        monitor.set(2.0, 9.0)  # times may restart after a reset
+        assert monitor.current == 9.0
+
+    def test_reset_with_initial_reseeds(self):
+        monitor = StateMonitor(initial=1.0, time=0.0)
+        monitor.set(5.0, 3.0)
+        monitor.reset(initial=7.0, time=100.0)
+        assert monitor.current == 7.0
+        assert monitor.time_average(until=200.0) == 7.0
