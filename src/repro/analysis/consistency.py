@@ -28,7 +28,7 @@ from typing import Dict, List, Tuple
 from repro.errors import ConsistencyViolation
 from repro.replication.deployment import Deployment
 
-__all__ = ["AuditReport", "audit", "assert_consistent"]
+__all__ = ["AuditReport", "audit", "assert_consistent", "commit_slots"]
 
 
 @dataclass
@@ -146,6 +146,34 @@ def audit(deployment: Deployment, exclude=()) -> AuditReport:
         identical_histories=identical_histories,
         total_commits=len(committed_slots),
         problems=problems,
+    )
+
+
+def commit_slots(deployment: Deployment) -> Tuple[Tuple[str, int, int, str], ...]:
+    """The global commit map: one ``(key, version, request_id, value)``
+    per committed version slot, deduplicated across replicas and sorted.
+
+    Under the paper's Theorems 1/2 every conflict round elects exactly
+    one winner, so each ``(key, version)`` slot is owned by exactly one
+    request — the property-test suite asserts this on the returned
+    tuple. Unlike a live :class:`Deployment`, the tuple is plain data:
+    it survives pickling across process-pool workers and the result
+    cache, so theorem checks run identically on serial, parallel and
+    cached results.
+    """
+    claims: Dict[Tuple[str, int], set] = {}
+    for host in deployment.hosts:
+        for record in deployment.server(host).history:
+            slot = (record.key, record.version)
+            claims.setdefault(slot, set()).add(
+                (record.request_id, repr(record.value))
+            )
+    # A divergent run (two owners for one slot) yields one tuple entry
+    # per claimed owner, so uniqueness violations stay visible.
+    return tuple(
+        (key, version, request_id, value)
+        for (key, version), owners in sorted(claims.items())
+        for request_id, value in sorted(owners)
     )
 
 

@@ -19,6 +19,11 @@ Any experiment command accepts ``--metrics-out FILE.jsonl`` /
 observability hub and dump the telemetry as JSONL (metrics only /
 spans+events only, respectively), with an end-of-run summary line.
 
+Any experiment command also accepts ``--jobs/-j N`` to fan its runs out
+over N worker processes (bit-identical results, see
+docs/experiments.md) and ``--cache-dir DIR`` / ``--no-cache`` to serve
+repeated configs from the on-disk result cache.
+
 Installed as the ``repro-marp`` console script as well.
 """
 
@@ -58,6 +63,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="requests per client (default 20)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help=(
+            "fan runs out over N worker processes (default 1: serial); "
+            "results are bit-identical to the serial path"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=(
+            "cache run results on disk under DIR so identical configs "
+            "are served from cache on re-runs (also enabled by setting "
+            "$REPRO_CACHE_DIR)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help=(
+            "disable the result cache even when --cache-dir or "
+            "$REPRO_CACHE_DIR is set"
+        ),
+    )
     parser.add_argument(
         "--quick", action="store_true",
         help="small fast settings (single repeat, fewer points)",
@@ -291,6 +318,30 @@ def _write_obs_exports(args, hub) -> List[str]:
     return lines
 
 
+def _build_runner(args):
+    """The experiment engine for this invocation, or None for defaults.
+
+    Caching is opt-in: ``--cache-dir DIR`` or ``$REPRO_CACHE_DIR``
+    enables it, ``--no-cache`` wins over both. ``--jobs N`` (N >= 2)
+    fans runs out over a process pool.
+    """
+    import os
+
+    from repro.experiments.cache import ResultCache, default_cache_dir
+    from repro.experiments.parallel import ParallelRunner
+
+    if args.jobs < 1:
+        raise SystemExit(f"repro-marp: error: --jobs must be >= 1: {args.jobs}")
+    cache = None
+    if not args.no_cache and (
+        args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+    ):
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.jobs == 1 and cache is None:
+        return None
+    return ParallelRunner(jobs=args.jobs, cache=cache)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -307,6 +358,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         _check_export_paths(args)
         hub = obs.enable(obs.ObservabilityHub())
+
+    runner = _build_runner(args)
+    previous_runner = None
+    if runner is not None:
+        from repro.experiments.parallel import set_default_runner
+
+        # Every experiment command routes its runs through the default
+        # engine, so installing one here parallelises/caches them all.
+        previous_runner = set_default_runner(runner)
     try:
         if command == "obs":
             sections += _obs(args, hub)
@@ -337,6 +397,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("\n\n".join(sections))
         return 0
     finally:
+        if runner is not None:
+            from repro.experiments.parallel import set_default_runner
+
+            set_default_runner(previous_runner)
+            runner.close()
         if hub is not None:
             from repro.obs import disable
 

@@ -15,6 +15,16 @@ from repro.experiments.common import (
     FigureData,
     latency_sweep,
 )
+from repro.experiments.cache import (
+    ResultCache,
+    config_key,
+    result_fingerprint,
+)
+from repro.experiments.parallel import (
+    ParallelRunner,
+    get_default_runner,
+    set_default_runner,
+)
 from repro.experiments.scalability import ScalabilityTable, run_scalability
 from repro.experiments.throughput import ThroughputTable, run_throughput
 from repro.experiments.fig2_alt import project_fig2, run_fig2
@@ -24,6 +34,8 @@ from repro.experiments.runner import (
     RunConfig,
     RunResult,
     build_protocol,
+    repeat_configs,
+    repeat_seeds,
     run_once,
     run_repeats,
 )
@@ -39,7 +51,15 @@ __all__ = [
     "RunResult",
     "run_once",
     "run_repeats",
+    "repeat_seeds",
+    "repeat_configs",
     "build_protocol",
+    "ParallelRunner",
+    "ResultCache",
+    "config_key",
+    "result_fingerprint",
+    "get_default_runner",
+    "set_default_runner",
     "sweep",
     "SweepPoint",
     "FigureData",

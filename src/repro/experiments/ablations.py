@@ -19,6 +19,7 @@ import numpy as np
 from repro.analysis.metrics import visit_counts
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
+from repro.experiments.parallel import get_default_runner
 from repro.experiments.runner import RunConfig, RunResult, run_repeats
 
 __all__ = [
@@ -65,6 +66,7 @@ def theorem3_bounds(
     requests_per_client: int = 20,
     repeats: int = 3,
     seed: int = 0,
+    runner=None,
 ) -> Theorem3Report:
     """Measure the distinct-visit bounds of winning agents."""
     config = RunConfig(
@@ -73,7 +75,7 @@ def theorem3_bounds(
         requests_per_client=requests_per_client,
         seed=seed,
     )
-    results = run_repeats(config, repeats)
+    results = run_repeats(config, repeats, runner=runner)
     counts = np.concatenate(
         [visit_counts(r.records) for r in results]
     )
@@ -128,14 +130,18 @@ def _variant_table(
     param: str,
     variants: Sequence,
     repeats: int,
+    runner=None,
 ) -> AblationTable:
+    runner = runner if runner is not None else get_default_runner()
     table = AblationTable(
         title=title,
         headers=[param, "committed", "ALT(ms)", "ATT(ms)", "agent hops",
                  "ctl msgs", "consistent"],
     )
-    for variant in variants:
-        results = run_repeats(base.with_(**{param: variant}), repeats)
+    grouped = runner.run_repeats_many(
+        [base.with_(**{param: variant}) for variant in variants], repeats
+    )
+    for variant, results in zip(variants, grouped):
         agg = _aggregate(results)
         table.rows.append(
             [
@@ -155,6 +161,7 @@ def run_itinerary_ablation(
     requests_per_client: int = 15,
     repeats: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> AblationTable:
     """A1: itinerary strategies on a random-cost topology."""
     base = RunConfig(
@@ -166,7 +173,7 @@ def run_itinerary_ablation(
     )
     return _variant_table(
         "A1: itinerary strategy (random-cost topology)",
-        base, "itinerary", strategies, repeats,
+        base, "itinerary", strategies, repeats, runner=runner,
     )
 
 
@@ -176,6 +183,7 @@ def run_bulletin_ablation(
     requests_per_client: int = 15,
     repeats: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> AblationTable:
     """A2: information sharing via server bulletin boards on/off."""
     base = RunConfig(
@@ -186,7 +194,7 @@ def run_bulletin_ablation(
     )
     return _variant_table(
         "A2: agent information sharing (bulletin boards)",
-        base, "enable_bulletin", (True, False), repeats,
+        base, "enable_bulletin", (True, False), repeats, runner=runner,
     )
 
 
@@ -197,6 +205,7 @@ def run_batching_ablation(
     requests_per_client: int = 24,
     repeats: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> AblationTable:
     """A3: requests carried per agent."""
     base = RunConfig(
@@ -207,5 +216,5 @@ def run_batching_ablation(
     )
     return _variant_table(
         "A3: request batching (requests per agent)",
-        base, "batch_size", batch_sizes, repeats,
+        base, "batch_size", batch_sizes, repeats, runner=runner,
     )

@@ -20,7 +20,8 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunConfig, run_repeats
+from repro.experiments.parallel import get_default_runner
+from repro.experiments.runner import RunConfig
 from repro.net.faults import CrashSchedule, FaultPlan
 
 __all__ = ["AvailabilityTable", "run_availability"]
@@ -53,17 +54,21 @@ def run_availability(
     repeats: int = 2,
     seed: int = 0,
     horizon: float = 300_000.0,
+    runner=None,
 ) -> AvailabilityTable:
     """Crash the first ``k`` replicas for the entire run and measure."""
+    runner = runner if runner is not None else get_default_runner()
     table = AvailabilityTable(
         title=f"F1: availability with k of {n_replicas} replicas down",
     )
+    cells = []
     for protocol in protocols:
         for crashed in crash_counts:
             schedule = CrashSchedule()
-            for index in range(crashed):
+            dead = tuple(f"s{index + 1}" for index in range(crashed))
+            for host in dead:
                 # never recovers within the horizon
-                schedule.add(f"s{index + 1}", 0, horizon * 10)
+                schedule.add(host, 0, horizon * 10)
             config = RunConfig(
                 protocol=protocol,
                 n_replicas=n_replicas,
@@ -72,25 +77,30 @@ def run_availability(
                 faults=FaultPlan(crashes=schedule),
                 horizon=horizon,
                 seed=seed,
+                # The permanently crashed replicas cannot converge
+                # within the horizon; audit the survivors. Declared in
+                # the config so the survivor audit is computed inside
+                # the run and travels through pool workers / the cache.
+                audit_exclude=dead,
             )
-            results = run_repeats(config, repeats)
-            total = float(
-                n_replicas * requests_per_client
-            )
-            committed = summarize(
-                [float(r.committed) for r in results]
-            ).mean
-            # The permanently crashed replicas cannot converge within
-            # the horizon; audit the survivors.
-            dead = {f"s{index + 1}" for index in range(crashed)}
-            consistent = all(
-                r.audit_excluding(dead).consistent for r in results
-            )
-            table.rows.append([
-                protocol,
-                crashed,
-                100.0 * committed / total,
-                summarize([r.att for r in results]).mean,
-                consistent,
-            ])
+            cells.append((protocol, crashed, dead, config))
+
+    grouped = runner.run_repeats_many(
+        [config for _, _, _, config in cells], repeats
+    )
+    total = float(n_replicas * requests_per_client)
+    for (protocol, crashed, dead, _), results in zip(cells, grouped):
+        committed = summarize(
+            [float(r.committed) for r in results]
+        ).mean
+        consistent = all(
+            r.audit_excluding(dead).consistent for r in results
+        )
+        table.rows.append([
+            protocol,
+            crashed,
+            100.0 * committed / total,
+            summarize([r.att for r in results]).mean,
+            consistent,
+        ])
     return table

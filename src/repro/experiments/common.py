@@ -11,8 +11,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.analysis.tables import format_series
+from repro.experiments.parallel import ParallelRunner, get_default_runner
 from repro.experiments.runner import RunConfig
-from repro.experiments.sweeps import SweepPoint, sweep
+from repro.experiments.sweeps import SweepPoint
 
 __all__ = [
     "DEFAULT_INTERARRIVALS",
@@ -71,22 +72,33 @@ def latency_sweep(
     requests_per_client: int = 20,
     repeats: int = 2,
     seed: int = 0,
+    runner: "ParallelRunner | None" = None,
     **config_overrides,
 ) -> Dict[int, List[SweepPoint]]:
     """The Fig 2/3 sweep: for each N, sweep the mean inter-arrival time.
 
-    Returns ``{n_servers: [SweepPoint per inter-arrival]}``. Results are
-    memo-free (each call re-runs) — callers cache if needed.
+    Returns ``{n_servers: [SweepPoint per inter-arrival]}``. The full
+    ``len(server_counts) × len(interarrivals) × repeats`` grid goes to
+    the experiment engine as one batch, so ``--jobs`` parallelism spans
+    the whole figure; an attached result cache memoises across calls.
     """
-    out: Dict[int, List[SweepPoint]] = {}
-    for n in server_counts:
-        base = RunConfig(
+    runner = runner if runner is not None else get_default_runner()
+    configs = [
+        RunConfig(
             n_replicas=n,
             seed=seed,
             requests_per_client=requests_per_client,
             **config_overrides,
-        )
-        out[n] = sweep(base, "mean_interarrival", interarrivals, repeats)
+        ).with_(mean_interarrival=gap)
+        for n in server_counts
+        for gap in interarrivals
+    ]
+    grouped = iter(runner.run_repeats_many(configs, repeats))
+    out: Dict[int, List[SweepPoint]] = {}
+    for n in server_counts:
+        out[n] = [
+            SweepPoint(gap, next(grouped)) for gap in interarrivals
+        ]
     return out
 
 

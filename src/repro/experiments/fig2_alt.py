@@ -43,6 +43,7 @@ def run_fig2(
     repeats: int = 2,
     seed: int = 0,
     points_by_n: Optional[Dict[int, List[SweepPoint]]] = None,
+    runner=None,
 ) -> FigureData:
     """Regenerate Figure 2 (optionally from a pre-collected sweep)."""
     if points_by_n is None:
@@ -52,5 +53,6 @@ def run_fig2(
             requests_per_client=requests_per_client,
             repeats=repeats,
             seed=seed,
+            runner=runner,
         )
     return project_fig2(points_by_n)

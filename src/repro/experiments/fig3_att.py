@@ -42,6 +42,7 @@ def run_fig3(
     repeats: int = 2,
     seed: int = 0,
     points_by_n: Optional[Dict[int, List[SweepPoint]]] = None,
+    runner=None,
 ) -> FigureData:
     """Regenerate Figure 3 (optionally from a pre-collected sweep)."""
     if points_by_n is None:
@@ -51,5 +52,6 @@ def run_fig3(
             requests_per_client=requests_per_client,
             repeats=repeats,
             seed=seed,
+            runner=runner,
         )
     return project_fig3(points_by_n)

@@ -28,6 +28,7 @@ def run_fig4(
     requests_per_client: int = 20,
     repeats: int = 2,
     seed: int = 0,
+    runner=None,
     **config_overrides,
 ) -> FigureData:
     """Regenerate Figure 4: PRK series over the inter-arrival sweep."""
@@ -37,7 +38,9 @@ def run_fig4(
         requests_per_client=requests_per_client,
         **config_overrides,
     )
-    points = sweep(base, "mean_interarrival", interarrivals, repeats)
+    points = sweep(
+        base, "mean_interarrival", interarrivals, repeats, runner=runner
+    )
 
     figure = FigureData(
         title=(

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ExperimentError
-from repro.analysis.consistency import AuditReport, audit
+from repro.analysis.consistency import AuditReport, audit, commit_slots
 from repro.analysis.metrics import alt, att, prk, throughput
 from repro.baselines import PROTOCOLS
 from repro.core.config import MARPConfig
@@ -25,11 +25,19 @@ from repro.replication.client import attach_clients
 from repro.replication.deployment import Deployment
 from repro.replication.requests import RequestRecord
 from repro.replication.server import ReplicaConfig
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import RandomStreams, spawn_seed
 from repro.workload.arrivals import ExponentialArrivals
 from repro.workload.mix import OperationMix
 
-__all__ = ["RunConfig", "RunResult", "run_once", "run_repeats", "build_protocol"]
+__all__ = [
+    "RunConfig",
+    "RunResult",
+    "run_once",
+    "run_repeats",
+    "repeat_seeds",
+    "repeat_configs",
+    "build_protocol",
+]
 
 
 @dataclass
@@ -60,6 +68,12 @@ class RunConfig:
     update_apply_time: float = 0.5
     enable_bulletin: bool = True
     protocol_kwargs: Dict[str, Any] = field(default_factory=dict)
+    # Hosts to leave out of a *second* audit computed at run time (the
+    # availability experiment excludes permanently crashed replicas).
+    # Part of the config so the excluded audit travels with the result
+    # through process-pool workers and the result cache, neither of
+    # which can carry the live deployment.
+    audit_exclude: Tuple[str, ...] = ()
 
     def with_(self, **changes) -> "RunConfig":
         """A modified copy (convenience for sweeps)."""
@@ -88,12 +102,36 @@ class RunResult:
     audit: AuditReport
     sim_time: float
     deployment: Optional[Deployment] = None
+    #: global commit map — one (key, version, request_id, value-repr)
+    #: per committed slot; plain data, so theorem checks survive
+    #: pickling (see :func:`repro.analysis.consistency.commit_slots`).
+    commit_slots: Tuple[Tuple[str, int, int, str], ...] = ()
+    #: audit without ``config.audit_exclude`` hosts (None if unset)
+    audit_excluded: Optional[AuditReport] = None
 
     def audit_excluding(self, exclude) -> AuditReport:
-        """Re-audit without the named hosts (e.g. permanently crashed)."""
+        """Re-audit without the named hosts (e.g. permanently crashed).
+
+        Falls back to the precomputed ``audit_excluded`` report when the
+        deployment was stripped (pool worker / cached result) and the
+        exclusion matches ``config.audit_exclude``.
+        """
         if self.deployment is None:
+            if not set(exclude):
+                return self.audit
+            if (
+                self.audit_excluded is not None
+                and set(exclude) == set(self.config.audit_exclude)
+            ):
+                return self.audit_excluded
             raise ExperimentError("deployment not retained for this result")
         return audit(self.deployment, exclude=exclude)
+
+    def without_deployment(self) -> "RunResult":
+        """A copy safe to pickle across processes / cache on disk."""
+        if self.deployment is None:
+            return self
+        return replace(self, deployment=None)
 
     @property
     def total_messages(self) -> int:
@@ -198,6 +236,11 @@ def run_once(config: RunConfig) -> RunResult:
         audit=audit(deployment),
         sim_time=deployment.env.now,
         deployment=deployment,
+        commit_slots=commit_slots(deployment),
+        audit_excluded=(
+            audit(deployment, exclude=config.audit_exclude)
+            if config.audit_exclude else None
+        ),
     )
     if hub is not None:
         labels = {"protocol": result.protocol_name}
@@ -225,11 +268,43 @@ def run_once(config: RunConfig) -> RunResult:
     return result
 
 
-def run_repeats(config: RunConfig, repeats: int = 3) -> List[RunResult]:
-    """Run the same config under ``repeats`` different seeds."""
+def repeat_seeds(base_seed: int, repeats: int) -> List[int]:
+    """Child seeds for ``repeats`` runs of one config.
+
+    Stream-splitting derivation (:func:`repro.sim.rng.spawn_seed`)
+    rather than ``base_seed + i``: additive seeds collide across sweep
+    points whose base seeds are consecutive (point A's repeat 1 is point
+    B's repeat 0), silently correlating supposedly independent repeats.
+    Child seeds depend only on ``(base_seed, index)`` — not on the rest
+    of the config — so protocol comparisons at one base seed still see
+    common random numbers.
+    """
     if repeats < 1:
         raise ExperimentError(f"repeats must be >= 1: {repeats}")
     return [
-        run_once(config.with_(seed=config.seed + offset))
-        for offset in range(repeats)
+        spawn_seed(base_seed, "experiment.repeat", index)
+        for index in range(repeats)
     ]
+
+
+def repeat_configs(config: RunConfig, repeats: int) -> List[RunConfig]:
+    """The per-repeat configs (one derived child seed each)."""
+    return [
+        config.with_(seed=seed)
+        for seed in repeat_seeds(config.seed, repeats)
+    ]
+
+
+def run_repeats(
+    config: RunConfig, repeats: int = 3, runner=None
+) -> List[RunResult]:
+    """Run the same config under ``repeats`` independently derived seeds.
+
+    Routed through the (default or given) experiment engine — see
+    :mod:`repro.experiments.parallel` — so repeats fan out over worker
+    processes and hit the result cache when one is configured.
+    """
+    from repro.experiments.parallel import get_default_runner
+
+    runner = runner if runner is not None else get_default_runner()
+    return runner.run_repeats_many([config], repeats)[0]

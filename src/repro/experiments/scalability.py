@@ -16,7 +16,8 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunConfig, run_repeats
+from repro.experiments.parallel import get_default_runner
+from repro.experiments.runner import RunConfig
 
 __all__ = ["ScalabilityTable", "run_scalability"]
 
@@ -50,36 +51,43 @@ def run_scalability(
     requests_per_client: int = 10,
     repeats: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> ScalabilityTable:
     """Sweep the cluster size at a fixed per-server request rate."""
+    runner = runner if runner is not None else get_default_runner()
     table = ScalabilityTable(
         title=(
             f"S1: scaling the replica count "
             f"({mean_interarrival:g}ms gaps per server)"
         ),
     )
-    for protocol in protocols:
-        for n in replica_counts:
-            config = RunConfig(
-                protocol=protocol,
-                n_replicas=n,
-                mean_interarrival=mean_interarrival,
-                requests_per_client=requests_per_client,
-                seed=seed,
-            )
-            results = run_repeats(config, repeats)
-            committed = summarize(
-                [float(r.committed) for r in results]
-            ).mean
-            msgs = summarize([float(r.total_messages) for r in results]).mean
-            byts = summarize([float(r.total_bytes) for r in results]).mean
-            table.rows.append([
-                protocol,
-                n,
-                committed,
-                summarize([r.att for r in results]).mean,
-                msgs / committed if committed else float("nan"),
-                (byts / 1024.0) / committed if committed else float("nan"),
-                all(r.audit.consistent for r in results),
-            ])
+    cells = [
+        (protocol, n, RunConfig(
+            protocol=protocol,
+            n_replicas=n,
+            mean_interarrival=mean_interarrival,
+            requests_per_client=requests_per_client,
+            seed=seed,
+        ))
+        for protocol in protocols
+        for n in replica_counts
+    ]
+    grouped = runner.run_repeats_many(
+        [config for _, _, config in cells], repeats
+    )
+    for (protocol, n, _), results in zip(cells, grouped):
+        committed = summarize(
+            [float(r.committed) for r in results]
+        ).mean
+        msgs = summarize([float(r.total_messages) for r in results]).mean
+        byts = summarize([float(r.total_bytes) for r in results]).mean
+        table.rows.append([
+            protocol,
+            n,
+            committed,
+            summarize([r.att for r in results]).mean,
+            msgs / committed if committed else float("nan"),
+            (byts / 1024.0) / committed if committed else float("nan"),
+            all(r.audit.consistent for r in results),
+        ])
     return table

@@ -7,7 +7,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.stats import summarize
-from repro.experiments.runner import RunConfig, RunResult, run_repeats
+from repro.experiments.parallel import ParallelRunner, get_default_runner
+from repro.experiments.runner import RunConfig, RunResult
 
 __all__ = ["SweepPoint", "sweep"]
 
@@ -44,10 +45,20 @@ def sweep(
     values: Sequence[Any],
     repeats: int = 3,
     overrides: Optional[Dict[str, Any]] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> List[SweepPoint]:
-    """Run ``base`` once per value of ``param`` (each with repeats)."""
-    points: List[SweepPoint] = []
-    for value in values:
-        config = base.with_(**{param: value, **(overrides or {})})
-        points.append(SweepPoint(value, run_repeats(config, repeats)))
-    return points
+    """Run ``base`` once per value of ``param`` (each with repeats).
+
+    The whole ``len(values) × repeats`` batch goes through the engine
+    in one call, so ``--jobs`` parallelism spans the entire sweep.
+    """
+    runner = runner if runner is not None else get_default_runner()
+    configs = [
+        base.with_(**{param: value, **(overrides or {})})
+        for value in values
+    ]
+    grouped = runner.run_repeats_many(configs, repeats)
+    return [
+        SweepPoint(value, results)
+        for value, results in zip(values, grouped)
+    ]

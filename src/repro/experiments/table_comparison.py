@@ -25,7 +25,8 @@ from typing import List, Optional, Sequence
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunConfig, run_repeats
+from repro.experiments.parallel import get_default_runner
+from repro.experiments.runner import RunConfig
 
 __all__ = ["ComparisonRow", "ComparisonTable", "run_comparison"]
 
@@ -96,10 +97,17 @@ def run_comparison(
     repeats: int = 2,
     seed: int = 0,
     title: str = "T1: protocol comparison",
+    runner=None,
     **config_overrides,
 ) -> ComparisonTable:
-    """Run every protocol on the identical workload and tabulate."""
+    """Run every protocol on the identical workload and tabulate.
+
+    All ``len(latencies) × len(protocols) × repeats`` runs are
+    dispatched to the experiment engine as one batch.
+    """
+    runner = runner if runner is not None else get_default_runner()
     table = ComparisonTable(title=title)
+    cells = []
     for latency in latencies:
         for protocol in protocols:
             # Fairness: the voting baselines need WAN-scaled timeouts
@@ -127,29 +135,34 @@ def run_comparison(
                 protocol_kwargs=protocol_kwargs,
                 **overrides,
             )
-            results = run_repeats(config, repeats)
+            cells.append((protocol, latency, config))
 
-            def agg(getter) -> float:
-                return summarize([float(getter(r)) for r in results]).mean
+    grouped = runner.run_repeats_many(
+        [config for _, _, config in cells], repeats
+    )
+    for (protocol, latency, _), results in zip(cells, grouped):
 
-            committed = agg(lambda r: r.committed)
-            msgs = agg(lambda r: r.total_messages)
-            table.rows.append(
-                ComparisonRow(
-                    protocol=protocol,
-                    latency=latency,
-                    mean_interarrival=mean_interarrival,
-                    committed=committed,
-                    failed=agg(lambda r: r.failed),
-                    att=agg(lambda r: r.att),
-                    control_messages=agg(lambda r: r.control_messages),
-                    control_bytes=agg(lambda r: r.control_bytes),
-                    agent_migrations=agg(lambda r: r.agent_migrations),
-                    agent_bytes=agg(lambda r: r.agent_bytes),
-                    msgs_per_commit=(
-                        msgs / committed if committed else float("nan")
-                    ),
-                    consistent=all(r.audit.consistent for r in results),
-                )
+        def agg(getter) -> float:
+            return summarize([float(getter(r)) for r in results]).mean
+
+        committed = agg(lambda r: r.committed)
+        msgs = agg(lambda r: r.total_messages)
+        table.rows.append(
+            ComparisonRow(
+                protocol=protocol,
+                latency=latency,
+                mean_interarrival=mean_interarrival,
+                committed=committed,
+                failed=agg(lambda r: r.failed),
+                att=agg(lambda r: r.att),
+                control_messages=agg(lambda r: r.control_messages),
+                control_bytes=agg(lambda r: r.control_bytes),
+                agent_migrations=agg(lambda r: r.agent_migrations),
+                agent_bytes=agg(lambda r: r.agent_bytes),
+                msgs_per_commit=(
+                    msgs / committed if committed else float("nan")
+                ),
+                consistent=all(r.audit.consistent for r in results),
             )
+        )
     return table

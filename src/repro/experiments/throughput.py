@@ -16,7 +16,8 @@ from typing import List, Sequence
 
 from repro.analysis.stats import summarize
 from repro.analysis.tables import format_table
-from repro.experiments.runner import RunConfig, run_repeats
+from repro.experiments.runner import RunConfig
+from repro.experiments.sweeps import sweep
 
 __all__ = ["ThroughputTable", "run_throughput"]
 
@@ -49,19 +50,22 @@ def run_throughput(
     requests_per_client: int = 20,
     repeats: int = 2,
     seed: int = 0,
+    runner=None,
 ) -> ThroughputTable:
     """Sweep the offered load and measure achieved commit throughput."""
     table = ThroughputTable(
         title=f"X1: update throughput, {n_replicas} replicas (LAN)",
     )
-    for gap in interarrivals:
-        config = RunConfig(
-            n_replicas=n_replicas,
-            mean_interarrival=gap,
-            requests_per_client=requests_per_client,
-            seed=seed,
-        )
-        results = run_repeats(config, repeats)
+    base = RunConfig(
+        n_replicas=n_replicas,
+        requests_per_client=requests_per_client,
+        seed=seed,
+    )
+    points = sweep(
+        base, "mean_interarrival", interarrivals, repeats, runner=runner
+    )
+    for point in points:
+        gap, results = point.x, point.results
         offered = 1000.0 * n_replicas / gap  # requests/s cluster-wide
         achieved = summarize([r.throughput for r in results]).mean
         table.rows.append([

@@ -75,6 +75,13 @@ class CrashSchedule:
         """All crash windows scheduled for ``host`` (sorted)."""
         return list(self._windows.get(host, ()))
 
+    def payload(self) -> Dict[str, List[List[float]]]:
+        """Stable JSON-serialisable description (for cache keys)."""
+        return {
+            host: [[down_at, up_at] for down_at, up_at in windows]
+            for host, windows in sorted(self._windows.items())
+        }
+
     def __repr__(self) -> str:
         n = sum(len(w) for w in self._windows.values())
         return f"<CrashSchedule hosts={len(self._windows)} windows={n}>"
@@ -135,6 +142,16 @@ class TransientLinkFaults:
             return True
         return False
 
+    def payload(self) -> Dict:
+        """Stable JSON-serialisable description (for cache keys)."""
+        return {
+            "drop_probability": self.drop_probability,
+            "outages": {
+                f"{src}->{dst}": [[start, end] for start, end in windows]
+                for (src, dst), windows in sorted(self._outages.items())
+            },
+        }
+
     def __repr__(self) -> str:
         return (
             f"<TransientLinkFaults p={self.drop_probability} "
@@ -165,6 +182,19 @@ class FaultPlan:
         self, src: str, dst: str, time: float, stream: Stream
     ) -> bool:
         return self.links.transmission_fails(src, dst, time, stream)
+
+    def payload(self) -> Dict:
+        """Stable JSON-serialisable description of the full plan.
+
+        Two plans with identical crash windows and link faults produce
+        identical payloads; any change to any window, probability or
+        outage changes the payload. The experiment result cache keys on
+        this.
+        """
+        return {
+            "crashes": self.crashes.payload(),
+            "links": self.links.payload(),
+        }
 
     def __repr__(self) -> str:
         return f"FaultPlan({self.crashes!r}, {self.links!r})"

@@ -24,7 +24,25 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RandomStreams", "Stream"]
+__all__ = ["RandomStreams", "Stream", "spawn_seed"]
+
+
+def spawn_seed(master_seed: int, label: str, index: int = 0) -> int:
+    """Derive an independent child seed from ``(master_seed, label, index)``.
+
+    Uses the same construction as :meth:`RandomStreams.stream` — the
+    label is hashed into a ``SeedSequence`` spawn key — so child seeds
+    are statistically independent of each other *and* of every named
+    stream a run derives from its master seed. Unlike additive schemes
+    (``seed + index``), two different master seeds never share a child:
+    consecutive base seeds produce disjoint child-seed sets, which the
+    experiment engine relies on when fanning out repeats.
+    """
+    name_key = zlib.crc32(label.encode("utf-8"))
+    seq = np.random.SeedSequence(
+        entropy=int(master_seed), spawn_key=(name_key, int(index))
+    )
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
 
 
 class Stream:

@@ -1,7 +1,11 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
 
+from repro.experiments.cache import ResultCache
+from repro.experiments.parallel import ParallelRunner
 from repro.replication.deployment import Deployment
 from repro.sim.core import Environment
 from repro.sim.rng import RandomStreams
@@ -27,3 +31,25 @@ def deployment() -> Deployment:
 def deployment5() -> Deployment:
     """The paper's 5-replica cluster."""
     return Deployment(n_replicas=5, seed=0)
+
+
+@pytest.fixture(scope="session")
+def engine_runner():
+    """The experiment engine the determinism/theorem suites run under.
+
+    Environment-switchable so CI exercises the same assertions on every
+    execution path:
+
+    * ``REPRO_TEST_JOBS=N`` (N >= 2) — fan runs out over a process pool;
+    * ``REPRO_TEST_CACHE_DIR=DIR`` — attach the on-disk result cache
+      (run the suite twice against one DIR for cold + warm coverage).
+
+    Unset, this is the serial, uncached engine — identical to calling
+    ``run_once`` directly.
+    """
+    jobs = int(os.environ.get("REPRO_TEST_JOBS", "0") or 0) or None
+    cache_dir = os.environ.get("REPRO_TEST_CACHE_DIR")
+    cache = ResultCache(cache_dir) if cache_dir else None
+    runner = ParallelRunner(jobs=jobs, cache=cache)
+    yield runner
+    runner.close()

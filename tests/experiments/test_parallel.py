@@ -1,0 +1,252 @@
+"""Engine behaviour: sharding, seed derivation, defaults, CLI flags.
+
+Byte-equivalence of serial/pool/cached execution lives in
+``test_determinism.py`` and ``test_cache.py``; this module covers the
+engine's own contracts — index sharding with partial cache hits, the
+stream-splitting repeat-seed derivation that replaced the colliding
+``seed + i`` scheme, the process-wide default runner, the engine's
+telemetry, and the CLI flags that configure all of it.
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cache import ResultCache, result_fingerprint
+from repro.experiments.parallel import (
+    ParallelRunner,
+    get_default_runner,
+    set_default_runner,
+)
+from repro.experiments.runner import (
+    RunConfig,
+    repeat_configs,
+    repeat_seeds,
+    run_once,
+    run_repeats,
+)
+from repro.experiments.sweeps import sweep
+from repro.obs.hub import ObservabilityHub, set_hub
+from repro.sim.rng import spawn_seed
+
+QUICK = RunConfig(
+    n_replicas=3, seed=0, mean_interarrival=80.0, requests_per_client=3
+)
+
+
+class TestRunnerBasics:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ExperimentError, match="jobs"):
+            ParallelRunner(jobs=0)
+
+    @pytest.mark.parametrize(
+        ("jobs", "parallel"), [(None, False), (1, False), (2, True)]
+    )
+    def test_parallel_property(self, jobs, parallel):
+        assert ParallelRunner(jobs=jobs).parallel is parallel
+
+    def test_serial_runner_keeps_live_deployment(self):
+        result = ParallelRunner().run_one(QUICK)
+        assert result.deployment is not None
+
+    def test_partial_cache_hits_preserve_sharding(self, tmp_path):
+        """Cached and fresh results interleave back into config order."""
+        configs = [QUICK.with_(seed=s) for s in (1, 2, 3, 4)]
+        expected = [result_fingerprint(run_once(c)) for c in configs]
+        cache = ResultCache(tmp_path)
+        # prime only the middle two
+        for config in configs[1:3]:
+            cache.put(config, run_once(config))
+        with ParallelRunner(jobs=2, cache=cache) as runner:
+            got = [result_fingerprint(r) for r in runner.run_many(configs)]
+        assert got == expected
+        assert (cache.hits, cache.misses) == (2, 2)
+
+    def test_close_is_idempotent(self):
+        runner = ParallelRunner(jobs=2)
+        runner.run_one(QUICK)
+        runner.close()
+        runner.close()
+        # a closed runner lazily rebuilds its pool on next use
+        assert result_fingerprint(runner.run_one(QUICK)) == (
+            result_fingerprint(run_once(QUICK))
+        )
+        runner.close()
+
+
+class TestRepeatSeedDerivation:
+    """Regression for the old ``seed + i`` child-seed scheme.
+
+    Under ``seed + i``, repeats of base seed ``s`` were
+    ``s, s+1, ..., s+r-1`` — adjacent sweep points shared almost all
+    their child seeds, silently correlating supposedly independent
+    repeats. Stream splitting derives children that never collide
+    across adjacent bases.
+    """
+
+    def test_adjacent_base_seeds_share_no_child_seeds(self):
+        for base in (0, 1, 7, 99, 12345):
+            a = set(repeat_seeds(base, 10))
+            b = set(repeat_seeds(base + 1, 10))
+            assert not a & b, f"bases {base}/{base + 1} collide"
+
+    def test_children_distinct_within_base(self):
+        seeds = repeat_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_derivation_is_stable(self):
+        assert repeat_seeds(0, 3) == repeat_seeds(0, 3)
+        assert repeat_seeds(0, 3) == [
+            spawn_seed(0, "experiment.repeat", i) for i in range(3)
+        ]
+
+    def test_repeat_configs_only_change_seed(self):
+        children = repeat_configs(QUICK, 3)
+        assert [c.with_(seed=QUICK.seed) for c in children] == [QUICK] * 3
+        assert [c.seed for c in children] == repeat_seeds(QUICK.seed, 3)
+
+    def test_run_repeats_uses_derived_seeds(self):
+        results = run_repeats(QUICK, repeats=3)
+        assert [r.config.seed for r in results] == repeat_seeds(QUICK.seed, 3)
+
+    def test_run_repeats_rejects_bad_count(self):
+        with pytest.raises(ExperimentError):
+            run_repeats(QUICK, repeats=0)
+
+
+class TestDefaultRunner:
+    def test_default_is_serial_uncached(self):
+        runner = get_default_runner()
+        assert runner.parallel is False
+        assert runner.cache is None
+        assert get_default_runner() is runner
+
+    def test_set_default_returns_previous(self):
+        original = get_default_runner()
+        replacement = ParallelRunner()
+        try:
+            assert set_default_runner(replacement) is original
+            assert get_default_runner() is replacement
+        finally:
+            set_default_runner(original)
+
+    def test_run_repeats_routes_through_installed_default(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        original = set_default_runner(ParallelRunner(cache=cache))
+        try:
+            run_repeats(QUICK, repeats=2)
+        finally:
+            set_default_runner(original)
+        assert cache.misses == 2
+        assert len(cache) == 2
+
+
+class TestEngineTelemetry:
+    def _run_under_hub(self, runner):
+        from repro.obs.hub import get_hub
+
+        hub = ObservabilityHub()
+        previous = get_hub()
+        set_hub(hub)
+        try:
+            with runner:
+                runner.run_one(QUICK)
+        finally:
+            set_hub(previous)
+        return hub
+
+    @pytest.mark.parametrize("jobs,mode", [(1, "serial"), (2, "pool")])
+    def test_runs_counter_and_wall_histogram(self, jobs, mode):
+        hub = self._run_under_hub(ParallelRunner(jobs=jobs))
+        counter = hub.registry.get("experiment_engine_runs_total")
+        assert counter is not None and counter.value(mode=mode) == 1
+        histogram = hub.registry.get("experiment_run_wall_ms")
+        assert histogram is not None and histogram.count() == 1
+
+    def test_cache_lookup_counters(self, tmp_path):
+        hub = self._run_under_hub(
+            ParallelRunner(cache=ResultCache(tmp_path))
+        )
+        counter = hub.registry.get("experiment_cache_lookups_total")
+        assert counter is not None and counter.value(outcome="miss") == 1
+
+
+class TestSweepThroughEngine:
+    def test_sweep_accepts_runner(self, tmp_path):
+        serial = sweep(QUICK, "n_replicas", [3, 5], repeats=2)
+        with ParallelRunner(jobs=2, cache=ResultCache(tmp_path)) as runner:
+            pooled = sweep(
+                QUICK, "n_replicas", [3, 5], repeats=2, runner=runner
+            )
+        assert [p.x for p in pooled] == [p.x for p in serial]
+        for a, b in zip(serial, pooled):
+            assert [result_fingerprint(r) for r in a.results] == [
+                result_fingerprint(r) for r in b.results
+            ]
+
+
+class TestCLIFlags:
+    def test_parser_accepts_engine_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["fig4", "--quick", "-j", "2", "--cache-dir", "/tmp/c",
+             "--no-cache"]
+        )
+        assert args.jobs == 2
+        assert args.cache_dir == "/tmp/c"
+        assert args.no_cache is True
+
+    def test_build_runner_default_is_none(self, monkeypatch):
+        from repro.cli import _build_runner, build_parser
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(["fig4", "--quick"])
+        assert _build_runner(args) is None
+
+    def test_build_runner_rejects_bad_jobs(self):
+        from repro.cli import _build_runner, build_parser
+
+        args = build_parser().parse_args(["fig4", "--quick", "-j", "0"])
+        with pytest.raises(SystemExit):
+            _build_runner(args)
+
+    def test_build_runner_cache_opt_in(self, tmp_path, monkeypatch):
+        from repro.cli import _build_runner, build_parser
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        args = build_parser().parse_args(
+            ["fig4", "--quick", "--cache-dir", str(tmp_path)]
+        )
+        runner = _build_runner(args)
+        assert runner is not None and runner.cache is not None
+        assert runner.cache.root == tmp_path
+        runner.close()
+
+    def test_build_runner_env_cache_and_no_cache(self, tmp_path, monkeypatch):
+        from repro.cli import _build_runner, build_parser
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        args = build_parser().parse_args(["fig4", "--quick"])
+        runner = _build_runner(args)
+        assert runner is not None and runner.cache is not None
+        runner.close()
+        args = build_parser().parse_args(["fig4", "--quick", "--no-cache"])
+        assert _build_runner(args) is None
+
+    def test_cli_jobs_output_matches_serial(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["fig4", "--quick"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["fig4", "--quick", "-j", "2"]) == 0
+        assert capsys.readouterr().out == serial_out
+        assert (
+            main(["fig4", "--quick", "--cache-dir", str(tmp_path)]) == 0
+        )
+        assert capsys.readouterr().out == serial_out
+        # warm: served entirely from cache, same bytes
+        assert (
+            main(["fig4", "--quick", "--cache-dir", str(tmp_path)]) == 0
+        )
+        assert capsys.readouterr().out == serial_out
+        assert len(ResultCache(tmp_path)) > 0

@@ -1,0 +1,154 @@
+"""Property tests for the paper's theorems (§3.3).
+
+* **Theorems 1/2 (unique winner)** — in every conflict round exactly
+  one mobile agent wins the distributed lock: every committed version
+  slot ``(key, version)`` is owned by exactly one request, versions per
+  key are gapless from 1, and each committed request owns exactly one
+  slot. Checked on ``RunResult.commit_slots`` — plain data that
+  survives process-pool workers and the result cache — across
+  randomized cluster sizes N ∈ {3, 5, 7}, arrival orders (seeds) and
+  itinerary strategies.
+* **Theorem 3 (migration bound)** — the winning agent learns the
+  result after between ⌈(N+1)/2⌉ and N distinct server visits, read
+  off ``RunResult`` records and off the ``marp_visits_to_lock``
+  span/metric stream.
+
+The whole suite routes through the env-configured engine
+(``engine_runner`` fixture), so CI runs the same assertions serially
+and under ``-j 2`` with cold and warm caches.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import visit_counts
+from repro.experiments.runner import RunConfig
+from repro.obs.hub import ObservabilityHub, set_hub
+
+#: Randomized axes: cluster size × arrival order (seed) × itinerary.
+CLUSTER_SIZES = (3, 5, 7)
+SEEDS = (0, 7, 123)
+ITINERARIES = ("cost-sorted", "static-order", "random-order")
+
+#: High contention (15 ms gaps) so conflict rounds actually form.
+CONTENTION = dict(mean_interarrival=15.0, requests_per_client=4)
+
+
+def _config(n, seed, itinerary="cost-sorted", **overrides):
+    params = {**CONTENTION, **overrides}
+    return RunConfig(
+        n_replicas=n, seed=seed, itinerary=itinerary, **params
+    )
+
+
+def assert_unique_winner_per_round(result):
+    """Theorems 1/2: each version slot has exactly one owning request."""
+    slots = result.commit_slots
+    # exactly one claimed owner per (key, version) — a divergent run
+    # would contribute one slot entry per claimed owner
+    owners = {}
+    for key, version, request_id, value in slots:
+        assert (key, version) not in owners, (
+            f"two winners for round ({key!r}, v{version}): "
+            f"{owners[(key, version)]} and {(request_id, value)}"
+        )
+        owners[(key, version)] = (request_id, value)
+    # versions per key are gapless from 1: one round ⇒ one new version
+    by_key = {}
+    for key, version, _, _ in slots:
+        by_key.setdefault(key, []).append(version)
+    for key, versions in by_key.items():
+        assert sorted(versions) == list(range(1, len(versions) + 1))
+    # every committed request owns exactly one slot, and vice versa
+    committed = [r for r in result.records if r.status == "committed"]
+    assert len(committed) == len(slots)
+    assert {r.request_id for r in committed} == {
+        request_id for _, _, request_id, _ in slots
+    }
+    # and the run as a whole upholds the single-copy illusion
+    assert result.audit.consistent
+
+
+class TestTheorem12UniqueWinner:
+    @pytest.mark.parametrize("n", CLUSTER_SIZES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unique_winner_across_sizes_and_arrival_orders(
+        self, engine_runner, n, seed
+    ):
+        result = engine_runner.run_one(_config(n, seed))
+        assert result.committed > 0
+        assert_unique_winner_per_round(result)
+
+    @pytest.mark.parametrize("itinerary", ITINERARIES)
+    def test_unique_winner_across_itineraries(self, engine_runner, itinerary):
+        result = engine_runner.run_one(
+            _config(5, 11, itinerary=itinerary, topology="random-costs")
+        )
+        assert result.committed > 0
+        assert_unique_winner_per_round(result)
+
+    def test_unique_winner_under_batching(self, engine_runner):
+        # One agent carries several requests: rounds are per *agent*,
+        # so one winner may own several consecutive version slots, but
+        # each slot still has exactly one owner.
+        result = engine_runner.run_one(
+            _config(5, 3, batch_size=2, requests_per_client=6)
+        )
+        slots = result.commit_slots
+        assert len({(k, v) for k, v, _, _ in slots}) == len(slots)
+        assert result.audit.consistent
+
+
+class TestTheorem3MigrationBound:
+    @pytest.mark.parametrize("n", CLUSTER_SIZES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_visits_within_bounds(self, engine_runner, n, seed):
+        """⌈(N+1)/2⌉ <= winner visits <= N, per committed request."""
+        result = engine_runner.run_one(_config(n, seed))
+        counts = visit_counts(result.records)
+        assert counts.size > 0
+        lower = math.ceil((n + 1) / 2)
+        assert counts.min() >= lower
+        assert counts.max() <= n
+
+    @pytest.mark.parametrize("n", (3, 5))
+    def test_lower_bound_attained_without_contention(
+        self, engine_runner, n
+    ):
+        """At negligible load every winner stops at exactly ⌈(N+1)/2⌉."""
+        result = engine_runner.run_one(
+            _config(n, 0, mean_interarrival=5000.0, requests_per_client=2)
+        )
+        counts = visit_counts(result.records)
+        assert counts.size > 0
+        assert counts.min() == counts.max() == math.ceil((n + 1) / 2)
+
+    def test_bound_visible_in_span_stream(self):
+        """The same bound read off the marp_visits_to_lock histogram.
+
+        Runs serially under an injected hub: the metric stream lives in
+        the worker process, so this check is inherently in-process.
+        """
+        from repro.experiments.runner import run_once
+        from repro.obs.hub import get_hub
+
+        hub = ObservabilityHub()
+        previous = get_hub()
+        set_hub(hub)
+        try:
+            result = run_once(_config(5, 1))
+        finally:
+            set_hub(previous)
+        histogram = hub.registry.get("marp_visits_to_lock")
+        assert histogram is not None
+        counts = visit_counts(result.records)
+        # one observation per lock-won event — at least one per commit
+        # (re-acquisitions after a failed claim round observe again)
+        total = histogram.count()
+        assert total >= counts.size > 0
+        # every observation fell inside [⌈(N+1)/2⌉, N] = [3, 5]:
+        # cumulative bucket counts are empty at bound 2, full at bound 5
+        cumulative = histogram.bucket_counts()
+        assert cumulative[2] == 0
+        assert cumulative[5] == total
