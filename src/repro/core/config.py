@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.machines.config import DES_TUNABLES
 from repro.errors import ProtocolError
 
 __all__ = ["MARPConfig"]
@@ -41,16 +42,21 @@ class MARPConfig:
     claim_backoff:
         Mean of the randomized (exponential) delay before re-claiming
         after a failed claim, in ms.
+
+    The agent-protocol fields default to the kernel's
+    :data:`~repro.core.machines.config.DES_TUNABLES`; this dataclass is
+    handed to :class:`~repro.core.machines.agent.AgentMachine` as its
+    tunables object.
     """
 
     itinerary: str = "cost-sorted"
     read_strategy: str = "local"
     batch_size: int = 1
     batch_flush_interval: float = 100.0
-    park_timeout: float = 100.0
-    ack_timeout: float = 1000.0
-    max_claims: int = 10
-    claim_backoff: float = 25.0
+    park_timeout: float = DES_TUNABLES.park_timeout
+    ack_timeout: float = DES_TUNABLES.ack_timeout
+    max_claims: int = DES_TUNABLES.max_claims
+    claim_backoff: float = DES_TUNABLES.claim_backoff
 
     def __post_init__(self) -> None:
         if self.read_strategy not in ("local", "quorum"):

@@ -1,149 +1,13 @@
-"""The mobile agent's Locking Table (LT) and Updated Agents List (UAL).
+"""The mobile agent's Locking Table (compatibility shim).
 
-Paper §3.2: the agent carries
-
-* **LT** — "a table of locking information obtained from all visited
-  servers" (here: the freshest :class:`SharedView` known per server,
-  whether learned by visiting or from server bulletin boards), and
-* **UAL** — "a list of mobile agents that have already finished their
-  request processing ... obtained by merging the UL maintained at each of
-  the replicated servers".
-
-The *effective top* of a server is the first agent in its known locking
-list that is not in the UAL — stale entries of finished agents must not
-count ("Other mobile agents will then be able to change their priorities
-in their locking tables").
+The Locking Table is the central protocol data structure of Algorithm 1,
+so the implementation now lives in the sans-IO kernel —
+:mod:`repro.core.machines.table`. This module re-exports it unchanged
+for existing importers.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from typing import Dict, List, Optional
-
-from repro.agents.identity import AgentId
-from repro.replication.locking import UpdatedList
-from repro.replication.server import SharedView
+from repro.core.machines.table import LockingTable
 
 __all__ = ["LockingTable"]
-
-
-class LockingTable:
-    """Per-agent accumulated lock knowledge."""
-
-    def __init__(self) -> None:
-        self.views: Dict[str, SharedView] = {}
-        self.ual = UpdatedList()
-        # Monotone max committed version per key, folded from *every*
-        # ingested view (even stale ones). Knowledge of a finished agent
-        # always arrives inside a SharedView whose version vector already
-        # reflects that agent's commit at the snapshotting server, so this
-        # map dominates every commit the UAL knows about — the property
-        # that makes version assignment ([D3]) collision-free.
-        self.max_versions: Dict[str, int] = {}
-
-    # -- ingestion --------------------------------------------------------
-
-    def update(self, view: SharedView) -> bool:
-        """Merge a server view; keeps only the freshest per host.
-
-        The view's ``updated`` set is always merged into the UAL (finished
-        is monotone knowledge even from an older snapshot).
-        Returns True if the view replaced the stored one.
-        """
-        self.ual.merge(view.updated)
-        if view.versions:
-            for key, version in view.versions.items():
-                if version > self.max_versions.get(key, 0):
-                    self.max_versions[key] = version
-        if view.is_newer_than(self.views.get(view.host)):
-            self.views[view.host] = view
-            return True
-        return False
-
-    def merge_bulletin(self, views: Dict[str, SharedView]) -> int:
-        """Ingest a server's bulletin board; returns views adopted."""
-        adopted = 0
-        for view in views.values():
-            if self.update(view):
-                adopted += 1
-        return adopted
-
-    # -- queries -----------------------------------------------------------
-
-    @property
-    def known_hosts(self) -> List[str]:
-        return sorted(self.views)
-
-    def view_of(self, host: str) -> Optional[SharedView]:
-        return self.views.get(host)
-
-    def effective_top(
-        self, host: str, extra_done: frozenset = frozenset()
-    ) -> Optional[AgentId]:
-        """First queued agent at ``host`` not known to have finished.
-
-        ``extra_done`` treats additional agents as finished — used by the
-        lock-pipelining extension to predict successive winners.
-        """
-        view = self.views.get(host)
-        if view is None:
-            return None
-        for agent_id in view.view:
-            if agent_id not in self.ual and agent_id not in extra_done:
-                return agent_id
-        return None
-
-    def tops(
-        self, extra_done: frozenset = frozenset()
-    ) -> Dict[str, Optional[AgentId]]:
-        """Effective top per known host (None = empty/unknown)."""
-        return {
-            host: self.effective_top(host, extra_done)
-            for host in self.views
-        }
-
-    def top_counts(self, extra_done: frozenset = frozenset()) -> Counter:
-        """How many known servers each agent currently tops."""
-        return Counter(
-            top
-            for top in self.tops(extra_done).values()
-            if top is not None
-        )
-
-    def version_ceiling(self, key: str, hosts=()) -> int:
-        """Highest version of ``key`` this agent knows committed ([D3]).
-
-        Dominated by :attr:`max_versions`; the per-host views of ``hosts``
-        are folded in for completeness but can never exceed it.
-        """
-        best = self.max_versions.get(key, 0)
-        for host in hosts:
-            view = self.views.get(host)
-            if view is not None:
-                best = max(best, view.version_of(key))
-        return best
-
-    def shareable_views(self, exclude_host: str) -> Dict[str, SharedView]:
-        """Views worth leaving on ``exclude_host``'s bulletin board."""
-        return {
-            host: view
-            for host, view in self.views.items()
-            if host != exclude_host
-        }
-
-    def wire_size(self) -> int:
-        """Approximate bytes the LT adds to the agent's migrations."""
-        total = 16
-        for view in self.views.values():
-            total += 16 + len(view.host) + 8  # host + as_of
-            total += sum(a.wire_size() for a in view.view)
-            total += sum(a.wire_size() for a in view.updated)
-            if view.versions:
-                total += 16 * len(view.versions)
-        total += sum(a.wire_size() for a in self.ual)
-        return total
-
-    def __repr__(self) -> str:
-        return (
-            f"<LockingTable hosts={len(self.views)} ual={len(self.ual)}>"
-        )

@@ -1,0 +1,120 @@
+"""The sans-IO protocol kernel.
+
+One implementation of the paper's two algorithms, shared by every
+execution backend:
+
+* :mod:`~repro.core.machines.agent` — :class:`AgentMachine`,
+  Algorithm 1 (tour → merge → decide → park/claim/back-off) over a
+  picklable :class:`AgentCoreState`;
+* :mod:`~repro.core.machines.replica` — :class:`ReplicaMachine`,
+  Algorithm 2 (lock append, bulletin exchange, UPDATE grants, COMMIT
+  application, release wake-ups);
+* :mod:`~repro.core.machines.events` / :mod:`~repro.core.machines.effects`
+  — the typed inputs the machines consume and the typed effects they
+  emit; drivers (the DES :class:`~repro.core.update_agent.UpdateAgent`
+  and :class:`~repro.replication.server.ReplicaServer`, the live
+  :class:`~repro.runtime.host.HostRuntime`) perform all I/O, timing,
+  randomness and observability;
+* :mod:`~repro.core.machines.structures` / :mod:`~repro.core.machines.wire`
+  / :mod:`~repro.core.machines.table` / :mod:`~repro.core.machines.priority`
+  — the protocol-owned data structures and the priority calculation;
+* :mod:`~repro.core.machines.config` — the single home of every
+  protocol tunable (:class:`ProtocolTunables`);
+* :mod:`~repro.core.machines.replay` — a deterministic script-replay
+  harness that runs whole protocol scenarios with no simulator, no
+  threads and no randomness.
+
+The kernel imports nothing from :mod:`repro.core` (outside this
+package), :mod:`repro.replication`, :mod:`repro.sim`, :mod:`repro.net`
+or :mod:`repro.runtime` — only :mod:`repro.errors` and
+:mod:`repro.agents.identity`. See ``docs/architecture.md``.
+"""
+
+from repro.core.machines.structures import (
+    CommitRecord,
+    HistoryLog,
+    LockEntry,
+    LockingList,
+    LockView,
+    UpdatedList,
+    VersionedStore,
+    VersionedValue,
+)
+from repro.core.machines.wire import (
+    SharedView,
+    Transform,
+    UpdatePayload,
+    VisitData,
+    WriteOp,
+)
+from repro.core.machines.table import LockingTable
+from repro.core.machines.priority import (
+    OTHER,
+    STALEMATE,
+    UNDECIDED,
+    WIN,
+    Decision,
+    decide,
+    rank_queue,
+)
+from repro.core.machines.config import (
+    DES_TUNABLES,
+    LIVE_TUNABLES,
+    ProtocolTunables,
+)
+from repro.core.machines.events import (
+    Arrived,
+    MsgReceived,
+    ReplicaDown,
+    TimerFired,
+)
+from repro.core.machines.effects import (
+    Backoff,
+    Broadcast,
+    CancelTimer,
+    ClaimResolved,
+    ClaimStarted,
+    CommitApplied,
+    Dispose,
+    Effect,
+    Granted,
+    LockWon,
+    Migrate,
+    Nacked,
+    Note,
+    Park,
+    PostBulletin,
+    QueueChanged,
+    Recovered,
+    ReleaseNotify,
+    Send,
+    SetTimer,
+    Visit,
+)
+from repro.core.machines.replica import ReplicaMachine
+from repro.core.machines.agent import AgentCoreState, AgentMachine
+from repro.core.machines.replay import KernelHarness, replay
+
+__all__ = [
+    # structures
+    "CommitRecord", "HistoryLog", "LockEntry", "LockingList", "LockView",
+    "UpdatedList", "VersionedStore", "VersionedValue",
+    # wire
+    "SharedView", "Transform", "UpdatePayload", "VisitData", "WriteOp",
+    # table + priority
+    "LockingTable",
+    "OTHER", "STALEMATE", "UNDECIDED", "WIN",
+    "Decision", "decide", "rank_queue",
+    # config
+    "DES_TUNABLES", "LIVE_TUNABLES", "ProtocolTunables",
+    # events
+    "Arrived", "MsgReceived", "ReplicaDown", "TimerFired",
+    # effects
+    "Backoff", "Broadcast", "CancelTimer", "ClaimResolved", "ClaimStarted",
+    "CommitApplied", "Dispose", "Effect", "Granted", "LockWon", "Migrate",
+    "Nacked", "Note", "Park", "PostBulletin", "QueueChanged", "Recovered",
+    "ReleaseNotify", "Send", "SetTimer", "Visit",
+    # machines + harness
+    "ReplicaMachine", "AgentCoreState", "AgentMachine",
+    "KernelHarness", "replay",
+]

@@ -1,0 +1,218 @@
+"""Typed effects emitted by the protocol machines.
+
+An effect is an *instruction to the driver*: the machine has updated its
+protocol state and now needs the outside world to move something. The
+kernel never performs I/O, sleeps, or samples randomness — it asks for
+those through effects, and the driver (DES generator, live event loop,
+or the replay harness) interprets them however its substrate requires.
+
+Effect vocabulary (agent machine)
+---------------------------------
+``Migrate``       pick one of ``candidates`` (itinerary policy is the
+                  driver's) and move the agent there, then feed back an
+                  ``Arrived`` or ``ReplicaDown`` input.
+``Visit``         redo the local exchange at the current host (after a
+                  back-off), then feed back ``Arrived``.
+``Park``          wait at the current host for a lock release or
+                  ``timeout`` ms ([D2]), then visit + feed ``Arrived``.
+``Backoff``       sample an exponential delay with the given ``mean``
+                  (randomness stays driver-side so the DES stays
+                  bit-reproducible), then feed ``TimerFired("backoff")``.
+``SetTimer``      arm the named timer; feed ``TimerFired(kind)`` if it
+                  elapses before being replaced or cancelled.
+``CancelTimer``   disarm the named timer.
+``Send``/``Broadcast``  transmit a protocol message.
+``PostBulletin``  deposit Locking-Table views on the local bulletin.
+``LockWon``/``ClaimStarted``/``ClaimResolved``/``Note``
+                  protocol milestones — drivers map these to traces,
+                  metrics, spans and record bookkeeping; ignoring them
+                  is always safe.
+``Dispose``       the agent finished (``status`` = committed/failed);
+                  ``writes`` carries the final versioned writes of a
+                  successful batch.
+
+Effect vocabulary (replica machine)
+-----------------------------------
+``Send``          reply/forward a protocol message.
+``Granted``/``Nacked``    the grant decision taken for an UPDATE.
+``CommitApplied`` one write of a COMMIT was applied to the store.
+``ReleaseNotify`` wake agents parked at this replica ([D2]).
+``QueueChanged``  the Locking List length changed (gauge refresh).
+``Recovered``     a crash-recovery snapshot was installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.agents.identity import AgentId
+from repro.core.machines.wire import SharedView, WriteOp
+
+__all__ = [
+    "Effect",
+    "Migrate", "Visit", "Park", "Backoff", "SetTimer", "CancelTimer",
+    "Send", "Broadcast", "PostBulletin", "Note",
+    "LockWon", "ClaimStarted", "ClaimResolved", "Dispose",
+    "Granted", "Nacked", "CommitApplied", "ReleaseNotify",
+    "QueueChanged", "Recovered",
+]
+
+
+class Effect:
+    """Marker base class for everything a machine can ask a driver for."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Migrate(Effect):
+    """Move the agent to one of ``candidates`` (driver picks which)."""
+
+    candidates: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Visit(Effect):
+    """Re-run the local exchange at the agent's current host."""
+
+
+@dataclass(frozen=True)
+class Park(Effect):
+    """Wait for a lock release here, or at most ``timeout`` ms ([D2])."""
+
+    timeout: float
+
+
+@dataclass(frozen=True)
+class Backoff(Effect):
+    """Sleep an exponential delay (mean ``mean`` ms; 0 = no sleep)."""
+
+    mean: float
+
+
+@dataclass(frozen=True)
+class SetTimer(Effect):
+    """Arm the named timer for ``delay`` ms from now."""
+
+    kind: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class CancelTimer(Effect):
+    """Disarm the named timer."""
+
+    kind: str
+
+
+@dataclass(frozen=True)
+class Send(Effect):
+    """Transmit one protocol message to ``dst``."""
+
+    dst: str
+    kind: str
+    payload: Any
+    category: str = ""
+
+
+@dataclass(frozen=True)
+class Broadcast(Effect):
+    """Transmit one protocol message to every replica (self included)."""
+
+    kind: str
+    payload: Any
+
+
+@dataclass(frozen=True)
+class PostBulletin(Effect):
+    """Deposit the agent's shareable views on the local bulletin board."""
+
+    views: Dict[str, SharedView]
+
+
+@dataclass(frozen=True)
+class Note(Effect):
+    """A trace-worthy protocol event (kind/detail match the DES trace)."""
+
+    kind: str
+    detail: str = ""
+    host: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class LockWon(Effect):
+    """The agent holds the distributed lock; claim round follows."""
+
+    reason: str
+    visits: int
+    visit_events: int
+    parks: int
+
+
+@dataclass(frozen=True)
+class ClaimStarted(Effect):
+    """A claim round (UPDATE broadcast) is beginning."""
+
+    epoch: int
+
+
+@dataclass(frozen=True)
+class ClaimResolved(Effect):
+    """A claim round ended: committed, conflict, or timeout."""
+
+    outcome: str
+    epoch: int
+
+
+@dataclass(frozen=True)
+class Dispose(Effect):
+    """The agent's lifecycle ended with ``status``."""
+
+    status: str
+    writes: Tuple[WriteOp, ...] = ()
+
+
+@dataclass(frozen=True)
+class Granted(Effect):
+    """Replica issued its exclusive update grant (an ACK follows)."""
+
+    agent_id: AgentId
+    batch_id: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class Nacked(Effect):
+    """Replica refused an UPDATE; the grant is held by ``holder``."""
+
+    agent_id: AgentId
+    batch_id: int
+    holder: Optional[AgentId] = None
+
+
+@dataclass(frozen=True)
+class CommitApplied(Effect):
+    """One committed write was applied to the replica's store."""
+
+    agent_id: AgentId
+    request_id: int
+    key: str
+    version: int
+
+
+@dataclass(frozen=True)
+class ReleaseNotify(Effect):
+    """A lock release happened here: wake parked agents ([D2])."""
+
+
+@dataclass(frozen=True)
+class QueueChanged(Effect):
+    """The Locking List length changed (refresh gauges/monitors)."""
+
+
+@dataclass(frozen=True)
+class Recovered(Effect):
+    """A recovery snapshot from ``src`` was installed."""
+
+    src: str

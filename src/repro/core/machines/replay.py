@@ -1,0 +1,381 @@
+"""Deterministic script-replay harness for the protocol machines.
+
+Because the machines are sans-IO, an entire multi-agent, multi-replica
+protocol run can be executed with **no** simulator, no threads, no
+clocks and no randomness — just a manual event queue interpreting the
+machines' effects. That is what this module provides:
+
+* :func:`replay` — feed a recorded input script straight into a single
+  machine and collect the effect batches it emits. The unit-level tool:
+  any interleaving (a COMMIT overtaking an ACK round, a grant expiring
+  mid-claim, a park wake racing a release) can be written down as a
+  literal list of inputs and asserted on, byte for byte.
+* :class:`KernelHarness` — a miniature deterministic world wiring N
+  replica machines and any number of agent machines together through a
+  priority event queue with fixed hop and message latencies. Where the
+  DES backend uses seeded randomness (itinerary choice, back-off
+  sampling), the harness is deliberately degenerate — lowest-named
+  candidate, back-off equal to its mean — so every run is a pure
+  function of the submitted workload and fault script.
+
+The harness is *not* a third execution backend for experiments; it
+exists so protocol edge cases and cross-machine races are testable
+without booting either real backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.agents.identity import AgentId
+from repro.core.machines.agent import AgentCoreState, AgentMachine
+from repro.core.machines.config import DES_TUNABLES
+from repro.core.machines.effects import (
+    Backoff,
+    Broadcast,
+    CancelTimer,
+    Dispose,
+    Migrate,
+    Note,
+    Park,
+    PostBulletin,
+    ReleaseNotify,
+    Send,
+    SetTimer,
+    Visit,
+)
+from repro.core.machines.events import Arrived, MsgReceived, ReplicaDown, TimerFired
+from repro.core.machines.replica import ReplicaMachine
+from repro.core.machines.wire import UpdatePayload
+
+__all__ = ["replay", "KernelHarness"]
+
+
+def replay(machine, inputs) -> List[List[Any]]:
+    """Feed a recorded input script into a machine, batch by batch.
+
+    Returns one effect list per input, in order. Works for both
+    :class:`~repro.core.machines.agent.AgentMachine` and
+    :class:`~repro.core.machines.replica.ReplicaMachine` (anything with
+    an ``on(event)`` method).
+    """
+    return [list(machine.on(event)) for event in inputs]
+
+
+#: Replies a replica addresses to the *agent* waiting at a host, not to
+#: the replica process itself.
+_AGENT_BOUND = ("ACK", "NACK", "READR")
+
+
+@dataclass
+class _AgentRun:
+    machine: AgentMachine
+    host: str
+    status: Optional[str] = None
+    writes: Tuple = ()
+    notes: List[Tuple[float, str, str]] = field(default_factory=list)
+    timer_token: Dict[str, int] = field(default_factory=dict)
+    wake_token: int = 0
+
+
+class KernelHarness:
+    """A deterministic interpreter wiring machines together.
+
+    Latencies are fixed (``hop_latency`` per migration, ``msg_latency``
+    per message) and the back-off "sample" is exactly its mean, so the
+    whole run is reproducible from the call sequence alone. Hosts can be
+    crashed and restarted (fail-stop: a down replica machine receives
+    nothing, and migrating to it yields a ``ReplicaDown`` input).
+    """
+
+    def __init__(
+        self,
+        hosts,
+        tunables=DES_TUNABLES,
+        hop_latency: float = 1.0,
+        msg_latency: float = 1.0,
+    ) -> None:
+        self.hosts = sorted(hosts)
+        self.tunables = tunables
+        self.hop_latency = hop_latency
+        self.msg_latency = msg_latency
+        self.replicas: Dict[str, ReplicaMachine] = {
+            host: ReplicaMachine(host, self.hosts, tunables)
+            for host in self.hosts
+        }
+        self.down: Set[str] = set()
+        self.now = 0.0
+        self.agents: Dict[AgentId, _AgentRun] = {}
+        self.parked: Dict[str, Set[AgentId]] = {h: set() for h in self.hosts}
+        self.results: Dict[int, str] = {}
+        self._queue: List[Tuple[float, int, Tuple]] = []
+        self._seq = 0
+
+    # -- workload & faults ----------------------------------------------
+
+    def submit(
+        self,
+        home: str,
+        request_id: int,
+        key: str,
+        value: Any,
+        at: float = 0.0,
+        created_seq: int = 0,
+    ) -> AgentId:
+        """Create one update agent at ``home``; it starts touring at ``at``."""
+        agent_id = AgentId(home, at, created_seq)
+        state = AgentCoreState(
+            agent_id=agent_id,
+            home=home,
+            batch_id=request_id,
+            requests=[(request_id, key, value)],
+            tour_remaining=set(self.hosts) - {home},
+            location=home,
+        )
+        run = _AgentRun(
+            machine=AgentMachine(state, self.hosts, self.tunables),
+            host=home,
+        )
+        self.agents[agent_id] = run
+        self._schedule(at, ("visit", agent_id, home))
+        return agent_id
+
+    def crash(self, host: str, at: Optional[float] = None) -> None:
+        if at is None:
+            self.down.add(host)
+        else:
+            self._schedule(at, ("crash", host))
+
+    def restart(
+        self,
+        host: str,
+        at: Optional[float] = None,
+        sync_from: Optional[str] = None,
+    ) -> None:
+        """Bring a crashed replica back, optionally resyncing from a peer."""
+        if at is None:
+            self.down.discard(host)
+            if sync_from is not None:
+                self._deliver_later(
+                    sync_from, "SYNC_REQUEST", {}, src=host
+                )
+        else:
+            self._schedule(at, ("restart", host, sync_from))
+
+    # -- event loop -----------------------------------------------------
+
+    def run(self, until: float = 1e9, max_events: int = 100_000) -> float:
+        """Drain the event queue up to ``until``; returns the final time."""
+        processed = 0
+        while self._queue and self._queue[0][0] <= until:
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"harness exceeded {max_events} events — livelock?"
+                )
+            when, _seq, action = heapq.heappop(self._queue)
+            self.now = when
+            self._handle(action)
+        return self.now
+
+    def _schedule(self, when: float, action: Tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._queue, (when, self._seq, action))
+
+    def _deliver_later(
+        self, dst: str, kind: str, payload: Any, src: str
+    ) -> None:
+        self._schedule(
+            self.now + self.msg_latency, ("deliver", dst, kind, payload, src)
+        )
+
+    def _handle(self, action: Tuple) -> None:
+        op = action[0]
+        if op == "visit":
+            self._do_visit(action[1], action[2])
+        elif op == "deliver":
+            self._do_deliver(action[1], action[2], action[3], action[4])
+        elif op == "timer":
+            _op, agent_id, kind, token = action
+            run = self.agents.get(agent_id)
+            if run is None or run.timer_token.get(kind) != token:
+                return  # cancelled or superseded
+            self._run_agent(run, run.machine.on(TimerFired(kind, self.now)))
+        elif op == "wake":
+            _op, agent_id, token = action
+            run = self.agents.get(agent_id)
+            if run is None or run.wake_token != token:
+                return
+            self._wake(agent_id)
+        elif op == "crash":
+            self.down.add(action[1])
+        elif op == "restart":
+            _op, host, sync_from = action
+            self.down.discard(host)
+            if sync_from is not None:
+                self._deliver_later(sync_from, "SYNC_REQUEST", {}, src=host)
+
+    # -- visits ----------------------------------------------------------
+
+    def _do_visit(self, agent_id: AgentId, host: str) -> None:
+        run = self.agents.get(agent_id)
+        if run is None:
+            return
+        if host in self.down:
+            self._run_agent(run, run.machine.on(ReplicaDown(host, self.now)))
+            return
+        run.host = host
+        run.machine.state.location = host
+        replica = self.replicas[host]
+        data, effects = replica.begin_visit(
+            agent_id, run.machine.state.batch_id, self.now
+        )
+        self._run_replica(replica, effects)
+        self._run_agent(
+            run,
+            run.machine.on(
+                Arrived(
+                    host=host,
+                    now=self.now,
+                    view=data.view,
+                    bulletin=data.bulletin,
+                    rank=data.rank,
+                    ll_len=data.ll_len,
+                )
+            ),
+        )
+
+    def _wake(self, agent_id: AgentId) -> None:
+        run = self.agents.get(agent_id)
+        if run is None:
+            return
+        self.parked[run.host].discard(agent_id)
+        run.wake_token += 1
+        self._do_visit(agent_id, run.host)
+
+    # -- message delivery -------------------------------------------------
+
+    def _do_deliver(
+        self, dst: str, kind: str, payload: Any, src: str
+    ) -> None:
+        if kind in _AGENT_BOUND:
+            # Addressed to whatever agent is waiting at the host; the
+            # machines' batch/epoch guards discard mismatches.
+            for run in list(self.agents.values()):
+                if run.host == dst and run.status is None:
+                    self._run_agent(
+                        run,
+                        run.machine.on(
+                            MsgReceived(kind, payload, self.now, src=src)
+                        ),
+                    )
+            return
+        if dst in self.down:
+            return  # fail-stop: a crashed server processes nothing
+        replica = self.replicas[dst]
+        self._run_replica(
+            replica,
+            replica.on_message(kind, payload, src=src, now=self.now),
+        )
+
+    # -- effect interpretation ---------------------------------------------
+
+    def _run_agent(self, run: _AgentRun, effects) -> None:
+        agent_id = run.machine.state.agent_id
+        for effect in effects:
+            if isinstance(effect, Note):
+                run.notes.append((self.now, effect.kind, effect.detail))
+            elif isinstance(effect, PostBulletin):
+                if run.host not in self.down:
+                    self.replicas[run.host].post_bulletin(effect.views)
+            elif isinstance(effect, Migrate):
+                dst = min(effect.candidates)
+                self._schedule(
+                    self.now + self.hop_latency, ("visit", agent_id, dst)
+                )
+            elif isinstance(effect, Park):
+                self.parked[run.host].add(agent_id)
+                self._schedule(
+                    self.now + effect.timeout,
+                    ("wake", agent_id, run.wake_token),
+                )
+            elif isinstance(effect, Backoff):
+                # Deterministic "sample": exactly the mean.
+                token = run.timer_token.get("backoff", 0) + 1
+                run.timer_token["backoff"] = token
+                self._schedule(
+                    self.now + effect.mean,
+                    ("timer", agent_id, "backoff", token),
+                )
+            elif isinstance(effect, Visit):
+                self._do_visit(agent_id, run.host)
+            elif isinstance(effect, SetTimer):
+                token = run.timer_token.get(effect.kind, 0) + 1
+                run.timer_token[effect.kind] = token
+                self._schedule(
+                    self.now + effect.delay,
+                    ("timer", agent_id, effect.kind, token),
+                )
+            elif isinstance(effect, CancelTimer):
+                run.timer_token[effect.kind] = (
+                    run.timer_token.get(effect.kind, 0) + 1
+                )
+            elif isinstance(effect, Send):
+                self._deliver_later(
+                    effect.dst, effect.kind, effect.payload, src=run.host
+                )
+            elif isinstance(effect, Broadcast):
+                for host in self.hosts:
+                    self._deliver_later(
+                        host, effect.kind, effect.payload, src=run.host
+                    )
+            elif isinstance(effect, Dispose):
+                run.status = effect.status
+                run.writes = effect.writes
+                self.results[run.machine.state.batch_id] = effect.status
+            # LockWon / ClaimStarted / ClaimResolved are bookkeeping
+            # milestones; the harness has no spans or records to update.
+
+    def _run_replica(self, replica: ReplicaMachine, effects) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._deliver_later(
+                    effect.dst, effect.kind, effect.payload, src=replica.host
+                )
+            elif isinstance(effect, ReleaseNotify):
+                for agent_id in list(self.parked[replica.host]):
+                    self._wake(agent_id)
+            # Granted / Nacked / CommitApplied / QueueChanged / Recovered
+            # are observability milestones with no harness action.
+
+    # -- inspection --------------------------------------------------------
+
+    def commit_chains(self) -> Dict[str, List[Tuple[int, Any]]]:
+        """Per-key ``[(version, value), ...]`` from the union of histories."""
+        chains: Dict[str, Dict[int, Any]] = {}
+        for replica in self.replicas.values():
+            for record in replica.history:
+                chains.setdefault(record.key, {})[record.version] = (
+                    record.value
+                )
+        return {
+            key: sorted(versions.items())
+            for key, versions in chains.items()
+        }
+
+    def statuses(self) -> Dict[int, str]:
+        return dict(self.results)
+
+
+def update_payload_from_dict(p: Dict[str, Any]) -> UpdatePayload:
+    """Helper for tests replaying wire-level dict payloads."""
+    return UpdatePayload(
+        batch_id=p["batch_id"],
+        agent_id=p["agent_id"],
+        origin=p.get("origin", ""),
+        writes=tuple(p.get("writes", ())),
+        reply_to=p.get("reply_to", ""),
+        epoch=p.get("epoch", 0),
+    )

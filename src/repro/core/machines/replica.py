@@ -1,0 +1,407 @@
+"""The replica protocol kernel — the paper's Algorithm 2, sans-IO.
+
+A :class:`ReplicaMachine` is the *logic* of one replicated server: the
+versioned store, the Locking List and Updated List, the bulletin board,
+and the exclusive update grant behind every acknowledgement. It is a
+pure state machine — time enters only through ``now`` arguments, every
+outward action is returned as a typed effect, and nothing in here knows
+whether it runs under the discrete-event simulator, a live thread, or a
+replay harness.
+
+Two kinds of entry points:
+
+* the **local interface** (``begin_visit``, ``request_lock``,
+  ``lock_view``, ``post_bulletin`` …) used by a co-located mobile agent
+  during a visit — method calls, "taking the advantage of being in the
+  same site as the peer process";
+* the **message interface** (:meth:`on` / :meth:`on_message`) for
+  UPDATE / COMMIT / ABORT / RELEASE / SYNC_REQUEST / SYNC_REPLY / READQ,
+  each returning the effects the driver must perform.
+
+Crash behaviour stays driver-side: a crashed server simply stops
+feeding its machine (fail-stop), and recovery is a SYNC_REQUEST /
+SYNC_REPLY exchange driven from outside.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.agents.identity import AgentId
+from repro.core.machines.effects import (
+    CommitApplied,
+    Effect,
+    Granted,
+    Nacked,
+    QueueChanged,
+    Recovered,
+    ReleaseNotify,
+    Send,
+)
+from repro.core.machines.events import MsgReceived
+from repro.core.machines.structures import (
+    CommitRecord,
+    HistoryLog,
+    LockEntry,
+    LockingList,
+    UpdatedList,
+    VersionedStore,
+)
+from repro.core.machines.wire import SharedView, UpdatePayload, VisitData
+
+__all__ = ["ReplicaMachine"]
+
+#: Message kinds the replica machine consumes.
+HANDLED_KINDS = (
+    "UPDATE", "COMMIT", "ABORT", "RELEASE",
+    "SYNC_REQUEST", "SYNC_REPLY", "READQ",
+)
+
+
+class ReplicaMachine:
+    """Pure Algorithm 2 state: store, LL, UL, history, bulletin, grant."""
+
+    def __init__(self, host: str, peers, tunables) -> None:
+        if host not in peers:
+            raise ProtocolError(f"peers list must include the host {host!r}")
+        self.host = host
+        self.peers = list(peers)
+        #: duck-typed: only ``grant_ttl`` and ``enable_bulletin`` are read,
+        #: and they are read per-call so live config mutation is honoured.
+        self.tunables = tunables
+
+        self.store = VersionedStore()
+        self.locking_list = LockingList(host)
+        self.updated_list = UpdatedList()
+        self.history = HistoryLog(host)
+        self.bulletin: Dict[str, SharedView] = {}
+        self.pending_updates: Dict[int, UpdatePayload] = {}
+        # Exclusive update grant: the server-side promise behind an ACK.
+        # While held (and unexpired), UPDATEs from other agents are
+        # NACKed, which is what makes a majority of ACKs an exclusive
+        # critical section regardless of how stale the claimer's Locking
+        # Table was.
+        self.grant_holder: Optional[AgentId] = None
+        self.grant_batch: Optional[int] = None
+        self.grant_epoch: int = 0
+        self.grant_expires_at: float = float("-inf")
+
+        self.acks_sent = 0
+        self.nacks_sent = 0
+        self.commits_applied = 0
+        self.recoveries = 0
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.peers)
+
+    # ------------------------------------------------------------------
+    # Local interface used by co-located mobile agents
+    # ------------------------------------------------------------------
+
+    def begin_visit(
+        self, agent_id: AgentId, request_id: int, now: float
+    ) -> Tuple[VisitData, List[Effect]]:
+        """One agent visit: guarded lock enqueue + information exchange.
+
+        Returns the :class:`VisitData` the agent machine needs (fresh
+        lock view, bulletin board, post-enqueue rank) plus any effects
+        (a ``QueueChanged`` when the visit appended a lock entry). The
+        agent's answering ``PostBulletin`` effect is routed back to
+        :meth:`post_bulletin` by the driver.
+        """
+        effects: List[Effect] = []
+        enqueued = False
+        if (
+            agent_id not in self.updated_list
+            and agent_id not in self.locking_list
+        ):
+            effects.extend(self.request_lock(agent_id, request_id, now))
+            enqueued = True
+        data = VisitData(
+            view=self.lock_view(now),
+            bulletin=self.read_bulletin(),
+            rank=self.locking_list.rank(agent_id),
+            ll_len=len(self.locking_list),
+            enqueued=enqueued,
+        )
+        return data, effects
+
+    def request_lock(
+        self, agent_id: AgentId, request_id: int, now: float
+    ) -> List[Effect]:
+        """Append the visiting agent to the Locking List (idempotent)."""
+        if agent_id in self.locking_list:
+            return []
+        if agent_id in self.updated_list:
+            raise ProtocolError(
+                f"agent {agent_id} already completed its update; it must "
+                "not re-request the lock"
+            )
+        self.locking_list.append(
+            LockEntry(agent_id=agent_id, request_id=request_id,
+                      enqueued_at=now)
+        )
+        return [QueueChanged()]
+
+    def requeue_lock(
+        self, agent_id: AgentId, request_id: int, now: float
+    ) -> List[Effect]:
+        """Move the agent's lock entry to the tail of the Locking List.
+
+        A voluntary back-off primitive: withdrawing and immediately
+        re-appending one's *own* entry can only demote oneself, so
+        mutual exclusion is unaffected. The current protocol resolves
+        stalemates through grant-certified claims instead ([D1]), but
+        the primitive remains available to alternative policies.
+        """
+        self.locking_list.remove(agent_id)
+        self.locking_list.append(
+            LockEntry(agent_id=agent_id, request_id=request_id,
+                      enqueued_at=now)
+        )
+        return [ReleaseNotify()]
+
+    def lock_view(self, now: float) -> SharedView:
+        """Fresh snapshot of this server's lock state."""
+        return SharedView(
+            host=self.host,
+            as_of=now,
+            view=self.locking_list.view(),
+            updated=self.updated_list.as_set(),
+            versions=self.store.version_vector(),
+        )
+
+    def read_bulletin(self) -> Dict[str, SharedView]:
+        """Views of *other* servers deposited by previous visitors."""
+        if not self.tunables.enable_bulletin:
+            return {}
+        return dict(self.bulletin)
+
+    def post_bulletin(self, views: Dict[str, SharedView]) -> int:
+        """Deposit lock views; keeps only the freshest per server.
+
+        Returns the number of entries that were news to this server.
+        """
+        if not self.tunables.enable_bulletin:
+            return 0
+        posted = 0
+        for host, view in views.items():
+            if host == self.host:
+                continue  # our own state is always fresher locally
+            if view.is_newer_than(self.bulletin.get(host)):
+                self.bulletin[host] = view
+                posted += 1
+        return posted
+
+    def read(self, key: str):
+        """Local read — the paper's fast read path (not guaranteed fresh)."""
+        return self.store.read(key)
+
+    def version_of(self, key: str) -> int:
+        return self.store.version_of(key)
+
+    def last_update_time(self, key: str) -> float:
+        return self.store.last_update_time(key)
+
+    # ------------------------------------------------------------------
+    # Message interface (Algorithm 2's message clauses)
+    # ------------------------------------------------------------------
+
+    def on(self, event: MsgReceived) -> List[Effect]:
+        return self.on_message(
+            event.kind, event.payload, src=event.src, now=event.now
+        )
+
+    def on_message(
+        self, kind: str, payload: Any, src: str = "", now: float = 0.0
+    ) -> List[Effect]:
+        if kind == "UPDATE":
+            return self._on_update(payload, now)
+        if kind == "COMMIT":
+            return self._on_commit(payload, now)
+        if kind == "ABORT":
+            return self._on_abort(payload)
+        if kind == "RELEASE":
+            return self._on_release(payload)
+        if kind == "SYNC_REQUEST":
+            return self._on_sync_request(src)
+        if kind == "SYNC_REPLY":
+            return self._on_sync_reply(payload, src, now)
+        if kind == "READQ":
+            return self._on_read_query(payload, src)
+        raise ProtocolError(f"replica machine cannot handle {kind!r}")
+
+    def grant_is_free(self, now: float) -> bool:
+        return self.grant_holder is None or now > self.grant_expires_at
+
+    def release_grant(
+        self, agent_id: AgentId, up_to_epoch: Optional[int] = None
+    ) -> None:
+        """Free the grant if held by ``agent_id``.
+
+        ``up_to_epoch`` (RELEASE/ABORT messages) guards against the race
+        where a re-claim's UPDATE overtakes the failed claim's RELEASE:
+        a release must not clear a grant issued for a *later* epoch.
+        """
+        if self.grant_holder != agent_id:
+            return
+        if up_to_epoch is not None and self.grant_epoch > up_to_epoch:
+            return
+        self.grant_holder = None
+        self.grant_batch = None
+        self.grant_epoch = 0
+        self.grant_expires_at = float("-inf")
+
+    def _on_update(self, payload: UpdatePayload, now: float) -> List[Effect]:
+        """Grant request: ACK (with our version vector) or NACK.
+
+        The ACK's version vector is what lets the winner pick versions
+        above everything previously committed ([D3]): any earlier
+        winner's grant here was released by processing its COMMIT, i.e.
+        *after* applying its writes, so an ACK never predates a commit
+        this server participated in.
+        """
+        if payload.agent_id == self.grant_holder or self.grant_is_free(now):
+            if self.grant_holder == payload.agent_id:
+                # A stale UPDATE must not roll the epoch backwards.
+                self.grant_epoch = max(self.grant_epoch, payload.epoch)
+            else:
+                self.grant_epoch = payload.epoch
+            self.grant_holder = payload.agent_id
+            self.grant_batch = payload.batch_id
+            self.grant_expires_at = now + self.tunables.grant_ttl
+            self.pending_updates[payload.batch_id] = payload
+            self.acks_sent += 1
+            return [
+                Granted(payload.agent_id, payload.batch_id, payload.epoch),
+                Send(
+                    payload.reply_to,
+                    "ACK",
+                    {
+                        "batch_id": payload.batch_id,
+                        "epoch": payload.epoch,
+                        "from": self.host,
+                        "versions": self.store.version_vector(),
+                    },
+                ),
+            ]
+        self.nacks_sent += 1
+        holder = self.grant_holder
+        return [
+            Nacked(payload.agent_id, payload.batch_id, holder),
+            Send(
+                payload.reply_to,
+                "NACK",
+                {
+                    "batch_id": payload.batch_id,
+                    "epoch": payload.epoch,
+                    "from": self.host,
+                    "holder": str(holder),
+                },
+            ),
+        ]
+
+    def _on_commit(self, payload: UpdatePayload, now: float) -> List[Effect]:
+        # COMMIT is self-contained: even if our UPDATE was lost (e.g. we
+        # were briefly down), the commit can still be applied.
+        self.pending_updates.pop(payload.batch_id, None)
+        effects: List[Effect] = []
+        for write in payload.writes:
+            applied = self.store.apply(
+                write.key, write.value, write.version, now
+            )
+            if applied:
+                self.history.append(
+                    CommitRecord(
+                        request_id=write.request_id,
+                        key=write.key,
+                        value=write.value,
+                        version=write.version,
+                        committed_at=now,
+                        origin=payload.origin,
+                    )
+                )
+                self.commits_applied += 1
+                effects.append(
+                    CommitApplied(
+                        payload.agent_id, write.request_id,
+                        write.key, write.version,
+                    )
+                )
+        # Locks from this agent are removed regardless of staleness.
+        self.release_grant(payload.agent_id)
+        self.locking_list.remove(payload.agent_id)
+        self.updated_list.add(payload.agent_id)
+        effects.append(QueueChanged())
+        effects.append(ReleaseNotify())
+        return effects
+
+    def _on_abort(self, payload: UpdatePayload) -> List[Effect]:
+        """An agent gave up on its request entirely: forget it."""
+        self.pending_updates.pop(payload.batch_id, None)
+        self.release_grant(payload.agent_id)
+        self.locking_list.remove(payload.agent_id)
+        self.updated_list.add(payload.agent_id)
+        return [QueueChanged(), ReleaseNotify()]
+
+    def _on_release(self, payload: UpdatePayload) -> List[Effect]:
+        """A claim failed: give back the grant, keep the lock entry."""
+        self.pending_updates.pop(payload.batch_id, None)
+        self.release_grant(payload.agent_id, up_to_epoch=payload.epoch)
+        return []
+
+    def _on_sync_request(self, src: str) -> List[Effect]:
+        return [
+            Send(
+                src,
+                "SYNC_REPLY",
+                {
+                    "snapshot": self.store.snapshot(),
+                    "updated": tuple(self.updated_list.ids()),
+                },
+                category="data",
+            )
+        ]
+
+    def _on_sync_reply(
+        self, payload: Dict[str, Any], src: str, now: float
+    ) -> List[Effect]:
+        self.store.install_snapshot(payload["snapshot"], now)
+        self.updated_list.merge(payload["updated"])
+        self.recoveries += 1
+        # Stale lock entries from agents that finished while we were down
+        # would wedge our LL top forever; clear them.
+        for agent_id in list(self.locking_list.view()):
+            if agent_id in self.updated_list:
+                self.locking_list.remove(agent_id)
+        if self.grant_holder is not None and self.grant_holder in self.updated_list:
+            self.release_grant(self.grant_holder)
+        return [Recovered(src), QueueChanged(), ReleaseNotify()]
+
+    def _on_read_query(
+        self, payload: Dict[str, Any], src: str
+    ) -> List[Effect]:
+        """Quorum-read support ([D5] extension): report version + value."""
+        key = payload["key"]
+        entry = self.store.read(key)
+        return [
+            Send(
+                src,
+                "READR",
+                {
+                    "request_id": payload["request_id"],
+                    "key": key,
+                    "from": self.host,
+                    "version": entry.version if entry else 0,
+                    "value": entry.value if entry else None,
+                },
+            )
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReplicaMachine {self.host!r} ll={len(self.locking_list)} "
+            f"ul={len(self.updated_list)} commits={self.commits_applied}>"
+        )

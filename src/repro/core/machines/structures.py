@@ -1,0 +1,306 @@
+"""Protocol-owned replica state structures.
+
+The sans-IO kernel owns every data structure whose contents the paper's
+algorithms reason about:
+
+* the per-server **Locking List (LL)** — lock requests from visiting
+  mobile agents, "sorted according to the time the entries are created"
+  (paper §3.2, FIFO append order);
+* the per-server **Updated List (UL)** — identifiers of agents "that
+  have already obtained the lock and performed the actual update";
+* the **versioned object store** — per-key versions assigned by the
+  protocol, strictly increasing at every replica, which is what makes
+  write-all application safe under message reordering ([D3]);
+* the **commit history log** — the audit trail compared across replicas
+  by :mod:`repro.analysis.consistency`.
+
+They live here (rather than in :mod:`repro.replication`) so the kernel
+has no import edge back into any execution backend; the historical
+``repro.replication.locking`` / ``store`` / ``history`` modules re-export
+these names unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.agents.identity import AgentId
+
+__all__ = [
+    "LockEntry", "LockingList", "UpdatedList", "LockView",
+    "VersionedValue", "VersionedStore",
+    "CommitRecord", "HistoryLog",
+]
+
+
+@dataclass(frozen=True)
+class LockEntry:
+    """One agent's pending lock request at one server."""
+
+    agent_id: AgentId
+    request_id: int
+    enqueued_at: float
+
+
+#: An immutable view of a server's LL at a point in time: the ordered
+#: tuple of agent ids, newest last. Shared between agents (information
+#: sharing) and merged into Locking Tables.
+LockView = Tuple[AgentId, ...]
+
+
+class LockingList:
+    """FIFO list of pending lock requests at one replica server."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self._entries: List[LockEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, agent_id: AgentId) -> bool:
+        return any(e.agent_id == agent_id for e in self._entries)
+
+    def append(self, entry: LockEntry) -> None:
+        """Append a new lock request (one entry per agent)."""
+        if entry.agent_id in self:
+            raise ProtocolError(
+                f"agent {entry.agent_id} already holds a lock entry at "
+                f"{self.host}"
+            )
+        if self._entries and entry.enqueued_at < self._entries[-1].enqueued_at:
+            raise ProtocolError(
+                f"lock entries at {self.host} must be appended in time order"
+            )
+        self._entries.append(entry)
+
+    def top(self) -> Optional[AgentId]:
+        """The agent currently ranked first, or None if empty."""
+        return self._entries[0].agent_id if self._entries else None
+
+    def rank(self, agent_id: AgentId) -> Optional[int]:
+        """0-based position of the agent, or None if absent."""
+        for index, entry in enumerate(self._entries):
+            if entry.agent_id == agent_id:
+                return index
+        return None
+
+    def remove(self, agent_id: AgentId) -> bool:
+        """Remove the agent's entry (after its COMMIT). True if present."""
+        for index, entry in enumerate(self._entries):
+            if entry.agent_id == agent_id:
+                del self._entries[index]
+                return True
+        return False
+
+    def view(self) -> LockView:
+        """Immutable ordered snapshot of the queued agent ids."""
+        return tuple(entry.agent_id for entry in self._entries)
+
+    def entries(self) -> List[LockEntry]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        ids = ", ".join(str(e.agent_id) for e in self._entries)
+        return f"<LockingList {self.host!r}: [{ids}]>"
+
+
+class UpdatedList:
+    """Ordered set of agents that completed their update at this server.
+
+    Merging ULs across servers yields an agent's Updated Agents List
+    (UAL) — agents known to have finished, whose (possibly stale) lock
+    entries can be disregarded.
+    """
+
+    def __init__(self) -> None:
+        self._order: List[AgentId] = []
+        self._members: set = set()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, agent_id: AgentId) -> bool:
+        return agent_id in self._members
+
+    def add(self, agent_id: AgentId) -> bool:
+        """Record a completed agent. True if newly added."""
+        if agent_id in self._members:
+            return False
+        self._members.add(agent_id)
+        self._order.append(agent_id)
+        return True
+
+    def merge(self, other_ids) -> int:
+        """Union in another UL/UAL; returns number of new entries."""
+        added = 0
+        for agent_id in other_ids:
+            if self.add(agent_id):
+                added += 1
+        return added
+
+    def ids(self) -> Tuple[AgentId, ...]:
+        """Completion order as an immutable tuple."""
+        return tuple(self._order)
+
+    def as_set(self) -> frozenset:
+        return frozenset(self._members)
+
+    def __iter__(self):
+        return iter(self._order)
+
+    def __repr__(self) -> str:
+        return f"<UpdatedList n={len(self._order)}>"
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """One key's current state at a replica."""
+
+    value: Any
+    version: int
+    updated_at: float
+
+    def __repr__(self) -> str:
+        return f"VersionedValue(v{self.version}={self.value!r} @ {self.updated_at:g})"
+
+
+class VersionedStore:
+    """Per-replica key/value store with per-key version ordering.
+
+    Versions are per-key, assigned by the replication protocol, and
+    strictly increasing at every replica: an arriving update older than
+    the installed version is *stale* and ignored (the installed value
+    already supersedes it).
+    """
+
+    def __init__(self) -> None:
+        self._data: Dict[str, VersionedValue] = {}
+        #: versions applied, in application order, per key (for audits)
+        self.applied_log: List[Tuple[str, int, float]] = []
+        self.stale_rejections = 0
+
+    # -- reads --------------------------------------------------------------
+
+    def read(self, key: str) -> Optional[VersionedValue]:
+        """Current versioned value, or ``None`` if never written."""
+        return self._data.get(key)
+
+    def version_of(self, key: str) -> int:
+        """Installed version for ``key`` (0 if absent)."""
+        entry = self._data.get(key)
+        return entry.version if entry is not None else 0
+
+    def last_update_time(self, key: str) -> float:
+        """Paper's 'time of last update' (-inf if never written)."""
+        entry = self._data.get(key)
+        return entry.updated_at if entry is not None else float("-inf")
+
+    def keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def snapshot(self) -> Dict[str, VersionedValue]:
+        """Copy of the full store (for recovery transfer and audits)."""
+        return dict(self._data)
+
+    def version_vector(self) -> Dict[str, int]:
+        """``key -> version`` for every key present."""
+        return {key: vv.version for key, vv in self._data.items()}
+
+    # -- writes -------------------------------------------------------------
+
+    def apply(
+        self, key: str, value: Any, version: int, timestamp: float
+    ) -> bool:
+        """Install ``value`` at ``version`` if it is newer.
+
+        Returns True if applied, False if stale (already superseded).
+        Duplicate deliveries of the same version are stale by definition.
+        """
+        if version <= 0:
+            raise ValueError(f"versions are positive integers: {version}")
+        current = self._data.get(key)
+        if current is not None and version <= current.version:
+            self.stale_rejections += 1
+            return False
+        self._data[key] = VersionedValue(value, version, timestamp)
+        self.applied_log.append((key, version, timestamp))
+        return True
+
+    def install_snapshot(
+        self, snapshot: Dict[str, VersionedValue], timestamp: float
+    ) -> int:
+        """Recovery catch-up: adopt any strictly newer entries.
+
+        Returns the number of keys updated.
+        """
+        updated = 0
+        for key, vv in snapshot.items():
+            if self.apply(key, vv.value, vv.version, timestamp):
+                updated += 1
+        return updated
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"<VersionedStore keys={len(self._data)}>"
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """One committed update as seen by one replica."""
+
+    request_id: int
+    key: str
+    value: Any
+    version: int
+    committed_at: float
+    origin: str  # home server of the request
+
+    def identity(self) -> Tuple[int, str, int]:
+        """Fields that must agree across replicas for the same commit."""
+        return (self.request_id, self.key, self.version)
+
+
+class HistoryLog:
+    """Append-only commit log of a single replica."""
+
+    def __init__(self, host: str) -> None:
+        self.host = host
+        self._records: List[CommitRecord] = []
+
+    def append(self, record: CommitRecord) -> None:
+        if self._records and record.committed_at < self._records[-1].committed_at:
+            raise ValueError(
+                f"history at {self.host} must be appended in time order"
+            )
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def records(self) -> List[CommitRecord]:
+        return list(self._records)
+
+    def identities(self) -> List[Tuple[int, str, int]]:
+        """The commit-identity sequence used for order comparison."""
+        return [record.identity() for record in self._records]
+
+    def versions_for(self, key: str) -> List[int]:
+        """Version sequence applied for one key, in commit order."""
+        return [r.version for r in self._records if r.key == key]
+
+    def last(self) -> Optional[CommitRecord]:
+        return self._records[-1] if self._records else None
+
+    def __repr__(self) -> str:
+        return f"<HistoryLog {self.host!r} commits={len(self._records)}>"

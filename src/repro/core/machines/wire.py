@@ -1,0 +1,119 @@
+"""Wire-level protocol payloads shared by every backend.
+
+These are the values the machines put *inside* their ``Send`` /
+``Broadcast`` effects and expect back inside ``MsgReceived`` inputs.
+They carry no behaviour beyond pure accessors, and they are all
+picklable — the live backend ships them (or dict renderings of them)
+across real queues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.agents.identity import AgentId
+from repro.core.machines.structures import LockView
+
+__all__ = ["SharedView", "WriteOp", "UpdatePayload", "Transform", "VisitData"]
+
+
+@dataclass(frozen=True)
+class SharedView:
+    """A (possibly stale) snapshot of one server's lock state.
+
+    Carried by agents in their Locking Tables and deposited on server
+    bulletin boards for other agents. ``versions`` is the server's
+    per-key version vector at snapshot time — this is how a winner
+    "checks the time of last update of all the quorum members" ([D3]):
+    a view that certifies the winner as top also certifies which commits
+    that server had applied.
+    """
+
+    host: str
+    as_of: float
+    view: LockView
+    updated: frozenset  # agent ids known to have completed
+    versions: Any = None  # Dict[str, int] | None
+
+    def version_of(self, key: str) -> int:
+        if not self.versions:
+            return 0
+        return self.versions.get(key, 0)
+
+    def is_newer_than(self, other: Optional["SharedView"]) -> bool:
+        return other is None or self.as_of > other.as_of
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    """One write within an UPDATE batch (the agent's Request List)."""
+
+    request_id: int
+    key: str
+    value: Any
+    version: int
+
+
+@dataclass(frozen=True)
+class UpdatePayload:
+    """Body of UPDATE/COMMIT/ABORT/RELEASE messages.
+
+    ``batch_id`` identifies the agent's update batch (= the first carried
+    request id); ``epoch`` distinguishes successive claim attempts of the
+    same agent so stale acknowledgements from an abandoned claim cannot
+    be counted toward a later one. UPDATE and RELEASE carry no writes;
+    COMMIT carries the full Request List with the final versions.
+    """
+
+    batch_id: int
+    agent_id: AgentId
+    origin: str
+    writes: Tuple[WriteOp, ...] = ()
+    reply_to: str = ""
+    epoch: int = 0
+
+
+class Transform:
+    """A read-modify-write update: ``new_value = fn(current_value)``.
+
+    Submit via :meth:`MARP.submit_rmw`. The winning agent fetches the
+    freshest committed copy from its acknowledgement quorum ("uses the
+    most recent copy", paper §3.1) before applying ``fn``, so the
+    transformation always sees the latest committed state.
+    """
+
+    __slots__ = ("fn", "description")
+
+    def __init__(self, fn, description: str = "") -> None:
+        if not callable(fn):
+            raise TypeError(f"Transform needs a callable, got {fn!r}")
+        self.fn = fn
+        self.description = description or getattr(fn, "__name__", "fn")
+
+    def __call__(self, current):
+        return self.fn(current)
+
+    def wire_size(self) -> int:
+        # A shipped transformation is code; charge a small fixed cost.
+        return 128
+
+    def __repr__(self) -> str:
+        return f"Transform({self.description})"
+
+
+@dataclass(frozen=True)
+class VisitData:
+    """What a replica hands a co-located agent during one visit.
+
+    Produced by :meth:`ReplicaMachine.begin_visit` and fed into the
+    agent machine as part of an :class:`~repro.core.machines.events.Arrived`
+    input: the fresh lock view, the bulletin board, and the agent's rank
+    in the Locking List (for tracing).
+    """
+
+    view: SharedView
+    bulletin: Any  # Dict[str, SharedView]
+    rank: Optional[int]
+    ll_len: int
+    enqueued: bool

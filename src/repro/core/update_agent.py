@@ -1,53 +1,62 @@
-"""The update mobile agent — the paper's Algorithm 1.
+"""The update mobile agent — the DES driver for the paper's Algorithm 1.
 
-One agent carries one batch of update requests (the Request List; batch
-size 1 reproduces the evaluated setting). Its life, written "from the
-point of view of the navigating mobile agent":
+The protocol *logic* — touring, priority evaluation, parking ([D2]), the
+claim round and version assignment ([D3]) — lives in the sans-IO
+:class:`~repro.core.machines.agent.AgentMachine`. This class is the
+discrete-event **driver** around it: it owns everything the kernel is
+not allowed to touch —
 
-1. Visit the home server, then tour the cheapest unvisited servers
-   (cost-sorted USL). At every server: pay the service time, append to
-   the Locking List, merge the server's fresh lock view and bulletin
-   board into the Locking Table, and leave its own knowledge behind.
-2. After each visit evaluate :func:`~repro.core.priority.decide`:
-   top-ranked at a majority of servers — or designated by the identifier
-   tie-break when no majority can form — means the agent holds the
-   distributed lock. When the tour is exhausted without a result, park
-   at the current server until a lock release (or a timeout) and then
-   refresh ([D2]).
-3. Holding the lock, run the *claim round*: broadcast UPDATE to all
-   replicas, collect > N/2 acknowledgements, assign versions above
-   everything the ACKs and the Locking Table report committed ([D3]),
-   broadcast COMMIT, and dispose.
+* the simulation clock and the agent platform (migration, service-time
+  and back-off timeouts, message receive events);
+* the itinerary policy and its random stream (a ``Migrate(candidates)``
+  effect comes back from the kernel; the driver picks the destination);
+* request-record bookkeeping, protocol tracing, and observability spans
+  and metrics.
 
-The claim round is also the safety net for the tie-break path: an ACK is
-an exclusive server-side *grant* (released when the COMMIT is processed),
-so even if two agents were to claim concurrently off stale tables, at
-most one can assemble a majority of grants — mutual exclusion never rests
-on the freshness of the Locking Table. A failed claim releases its grants
-and the agent resumes touring after a randomized back-off.
+Its interpretation loop is flat: perform each effect of the current
+batch (some perform steps yield simulation events — a migration, a park
+wait, an exponential back-off), feed the resulting input back into the
+machine, and repeat until a ``Dispose`` effect ends the agent. When a
+batch leaves the machine :attr:`~AgentMachine.awaiting` claim replies,
+the driver blocks on one ACK/NACK/READR receive (or the pending timer)
+and feeds whichever fires first.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
+from collections import deque
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from repro.errors import ReplicaUnavailable
+from repro.errors import ProtocolError, ReplicaUnavailable
 from repro.agents.agent import MobileAgent
 from repro.agents.identity import AgentId
 from repro.agents.itinerary import make_itinerary
-from repro.core.locking_table import LockingTable
-from repro.core.priority import OTHER, STALEMATE, WIN, Decision, decide
-from repro.replication.server import ReplicaServer, UpdatePayload, WriteOp
-from repro.replication.requests import RequestRecord, Transform
-
-
-class _FetchFailed:
-    """Sentinel: the RMW base-value fetch timed out."""
-
-    __slots__ = ()
-
-
-_FETCH_FAILED = _FetchFailed()
+from repro.core.machines.agent import AgentCoreState, AgentMachine
+from repro.core.machines.effects import (
+    Backoff,
+    Broadcast,
+    CancelTimer,
+    ClaimResolved,
+    ClaimStarted,
+    Dispose,
+    LockWon,
+    Migrate,
+    Note,
+    Park,
+    PostBulletin,
+    Send,
+    SetTimer,
+    Visit,
+)
+from repro.core.machines.events import (
+    Arrived,
+    MsgReceived,
+    ReplicaDown,
+    TimerFired,
+)
+from repro.core.machines.table import LockingTable
+from repro.replication.server import ReplicaServer
+from repro.replication.requests import RequestRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.protocol import MARP
@@ -71,16 +80,22 @@ class UpdateAgent(MobileAgent):
         self.config = marp.config
         self.records = list(records)
         self.batch_id = self.records[0].request_id
-        self.table = LockingTable()
-        self.visited: Set[str] = set()
-        self.tour_remaining: Set[str] = set()
-        self.unavailable: Set[str] = set()
-        self.visit_events = 0
-        self.park_count = 0
-        self.claim_epoch = 0
-        self.failed_claims = 0
+        #: the carried protocol state + the sans-IO kernel over it
+        self.core = AgentCoreState(
+            agent_id=agent_id,
+            home=self.home,
+            batch_id=self.batch_id,
+            requests=[(r.request_id, r.key, r.value) for r in self.records],
+        )
+        self.machine = AgentMachine(
+            self.core, marp.deployment.hosts, self.config, votes=marp.votes
+        )
         self.itinerary = make_itinerary(self.config.itinerary, home=self.home)
         self.stream = marp.deployment.streams.stream(f"agent.{agent_id}")
+        self._finished = False
+        #: the live claim-round deadline (an env.timeout event), if any
+        self._deadline = None
+        self._deadline_kind: Optional[str] = None
 
         # Observability: resolve the deployment's hub once; every record
         # below is guarded by a single `is not None` check, so a run
@@ -89,6 +104,7 @@ class UpdateAgent(MobileAgent):
         self._obs = obs
         self._span_request = None
         self._span_lockwait = None
+        self._span_claim = None
         if obs is not None:
             self._m_requests = obs.counter(
                 "marp_requests_total", "update requests finished",
@@ -117,6 +133,40 @@ class UpdateAgent(MobileAgent):
                 buckets=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 15, 20),
             )
 
+    # -- carried protocol state, exposed for tests/analysis ------------------
+
+    @property
+    def table(self) -> LockingTable:
+        return self.core.table
+
+    @property
+    def visited(self):
+        return self.core.visited
+
+    @property
+    def tour_remaining(self):
+        return self.core.tour_remaining
+
+    @property
+    def unavailable(self):
+        return self.core.unavailable
+
+    @property
+    def visit_events(self) -> int:
+        return self.core.visit_events
+
+    @property
+    def park_count(self) -> int:
+        return self.core.park_count
+
+    @property
+    def claim_epoch(self) -> int:
+        return self.core.epoch
+
+    @property
+    def failed_claims(self) -> int:
+        return self.core.failed_claims
+
     # -- carried state (sizes migrations) ------------------------------------
 
     def state(self) -> Dict[str, Any]:
@@ -125,8 +175,8 @@ class UpdateAgent(MobileAgent):
             "requests": [
                 (r.request_id, r.key, r.value) for r in self.records
             ],
-            "unvisited": sorted(self.tour_remaining),
-            "table": self.table,  # has wire_size()
+            "unvisited": sorted(self.core.tour_remaining),
+            "table": self.core.table,  # has wire_size()
         }
 
     # -- tracing ----------------------------------------------------------------
@@ -142,7 +192,7 @@ class UpdateAgent(MobileAgent):
                 detail=detail,
             )
 
-    # -- Algorithm 1 -----------------------------------------------------------
+    # -- the interpretation loop ---------------------------------------------
 
     def behavior(self):
         env = self.platform.env
@@ -161,83 +211,225 @@ class UpdateAgent(MobileAgent):
                 agent=str(self.agent_id),
             )
 
-        hosts = self.marp.deployment.hosts
-        self.tour_remaining = set(hosts) - {self.home}
+        self.core.tour_remaining = (
+            set(self.marp.deployment.hosts) - {self.home}
+        )
 
         # The creating server is the first visit (no migration needed).
-        yield from self._visit_current()
-
-        while True:
-            decision = self._decide()
-            if not self._holds_lock(decision):
-                yield from self._advance(decision)
+        queue = deque((yield from self._visit_current()))
+        while not self._finished:
+            if not queue:
+                # The batch left the machine blocked on claim replies.
+                queue.extend((yield from self._await_reply()))
                 continue
+            queue.extend((yield from self._perform(queue.popleft())))
 
-            # Lock acquired: record ALT inputs (overwritten if the claim
-            # round fails and the lock has to be re-acquired).
-            self._trace(
-                "lock-won",
-                detail=f"{decision.reason} after {self.visit_events} visits",
-            )
-            now = env.now
-            for record in self.records:
-                record.lock_acquired_at = now
-                record.visits_to_lock = len(self.visited)
-                record.extra["visit_events_to_lock"] = self.visit_events
-                record.extra["win_reason"] = decision.reason
-                record.extra["parks"] = self.park_count
-            if self._obs is not None and self._span_lockwait is not None:
-                self._span_lockwait.finish(
-                    end=now, visits=self.visit_events,
-                    reason=decision.reason,
-                )
-                self._span_lockwait = None
-                self._m_visits.observe(len(self.visited))
-
-            outcome = yield from self._claim_round(decision)
-            if outcome == "committed":
-                self._finish("committed")
-                return
-
-            self._trace("claim-failed",
-                        detail=f"epoch {self.claim_epoch} ({outcome})")
-            if outcome == "conflict":
-                # Another claimer holds grants: genuine contention counts
-                # toward the abort budget.
-                self.failed_claims += 1
-                if self.failed_claims >= self.config.max_claims:
-                    self._broadcast("ABORT")
-                    self._trace(
-                        "abort",
-                        detail=f"{self.failed_claims} failed claims",
-                    )
-                    self._finish("failed")
-                    return
-                backoff_mean = self.config.claim_backoff
-            else:
-                # Timeout with no NACKs: too few replicas are reachable
-                # to assemble a majority (e.g. mid-outage). Quorum
-                # semantics require stalling, not aborting — wait longer
-                # and retry when the cluster may have healed.
-                backoff_mean = max(
-                    4 * self.config.claim_backoff, self.config.park_timeout
-                )
+    def _perform(self, effect):
+        """Perform one effect; returns the follow-up batch (usually [])."""
+        env = self.platform.env
+        if isinstance(effect, Note):
+            self._trace(effect.kind, host=effect.host, detail=effect.detail)
+        elif isinstance(effect, PostBulletin):
+            self.platform.service("replica").post_bulletin(effect.views)
+        elif isinstance(effect, Migrate):
+            return (yield from self._migrate_step(effect.candidates))
+        elif isinstance(effect, Visit):
+            return (yield from self._visit_current())
+        elif isinstance(effect, Park):
+            return (yield from self._park(effect.timeout))
+        elif isinstance(effect, Backoff):
+            return (yield from self._backoff(effect.mean))
+        elif isinstance(effect, LockWon):
+            self._on_lock_won(effect)
+        elif isinstance(effect, ClaimStarted):
             if self._obs is not None:
-                # The lock has to be re-acquired: open a fresh wait span.
-                self._span_lockwait = self._obs.start_span(
-                    "lock-wait", parent=self._span_request, start=env.now,
-                    agent=str(self.agent_id),
+                self._span_claim = self._obs.start_span(
+                    "claim", parent=self._span_request, start=env.now,
+                    agent=str(self.agent_id), epoch=effect.epoch,
                 )
-            if backoff_mean > 0:
-                yield env.timeout(self.stream.exponential(backoff_mean))
-            yield from self._visit_current()
+        elif isinstance(effect, ClaimResolved):
+            if self._obs is not None and self._span_claim is not None:
+                self._span_claim.finish(end=env.now, status=effect.outcome)
+                self._m_claims.inc(outcome=effect.outcome)
+                self._span_claim = None
+            if effect.outcome != "committed":
+                self._trace(
+                    "claim-failed",
+                    detail=f"epoch {effect.epoch} ({effect.outcome})",
+                )
+        elif isinstance(effect, Broadcast):
+            self.platform.endpoint.broadcast(
+                effect.kind, effect.payload, include_self=True
+            )
+        elif isinstance(effect, Send):
+            self.platform.endpoint.send(
+                effect.dst, effect.kind, payload=effect.payload
+            )
+        elif isinstance(effect, SetTimer):
+            self._deadline = env.timeout(effect.delay)
+            self._deadline_kind = effect.kind
+        elif isinstance(effect, CancelTimer):
+            if self._deadline_kind == effect.kind:
+                self._deadline = None
+                self._deadline_kind = None
+        elif isinstance(effect, Dispose):
+            self._on_dispose(effect)
+        return []
+
+    # -- visiting -----------------------------------------------------------------
+
+    def _visit_current(self):
+        """Interact with the co-located replica server (one 'visit')."""
+        env = self.platform.env
+        server: ReplicaServer = self.platform.service("replica")
+        if server.config.agent_service_time > 0:
+            yield env.timeout(server.config.agent_service_time)
+        data = server.begin_visit(self.agent_id, self.batch_id)
+        return self.machine.on(
+            Arrived(
+                host=server.host, now=env.now, view=data.view,
+                bulletin=data.bulletin, rank=data.rank, ll_len=data.ll_len,
+            )
+        )
+
+    # -- movement -------------------------------------------------------------
+
+    def _migrate_step(self, candidates):
+        env = self.platform.env
+        dst = self.itinerary.next_host(
+            self.location, candidates, self.marp.deployment.topology,
+            self.stream,
+        )
+        self._trace("migrate", detail=f"-> {dst}")
+        hop_span = None
+        if self._obs is not None:
+            hop_span = self._obs.start_span(
+                "migrate", parent=self._span_request, start=env.now,
+                agent=str(self.agent_id), src=self.location, dst=dst,
+            )
+        try:
+            yield from self.migrate(dst)
+        except ReplicaUnavailable:
+            if hop_span is not None:
+                hop_span.finish(end=env.now, status="unavailable")
+                self._m_migrations.inc(outcome="unavailable")
+            return self.machine.on(ReplicaDown(dst, env.now))
+        if hop_span is not None:
+            hop_span.finish(end=env.now)
+            self._m_migrations.inc(outcome="ok")
+        self._trace("arrive")
+        return (yield from self._visit_current())
+
+    def _park(self, timeout: float):
+        """Park at the current server until a release or a timeout ([D2])."""
+        env = self.platform.env
+        park_span = None
+        if self._obs is not None:
+            self._m_parks.inc(host=self.location)
+            park_span = self._obs.start_span(
+                "park", parent=self._span_request, start=env.now,
+                agent=str(self.agent_id), host=self.location,
+            )
+        server: ReplicaServer = self.platform.service("replica")
+        release = server.wait_release()
+        yield release | env.timeout(timeout)
+        if park_span is not None:
+            park_span.finish(end=env.now)
+        self._trace("wake")
+        return (yield from self._visit_current())
+
+    def _backoff(self, mean: float):
+        """Randomized wait before re-entering the acquisition loop."""
+        env = self.platform.env
+        if self._obs is not None:
+            # The lock has to be re-acquired: open a fresh wait span.
+            self._span_lockwait = self._obs.start_span(
+                "lock-wait", parent=self._span_request, start=env.now,
+                agent=str(self.agent_id),
+            )
+        if mean > 0:
+            yield env.timeout(self.stream.exponential(mean))
+        return self.machine.on(TimerFired("backoff", env.now))
+
+    # -- the claim round (UPDATE / ACK / COMMIT) ------------------------------------
+
+    def _await_reply(self):
+        """Block on the next claim-round reply or the pending deadline."""
+        env = self.platform.env
+        endpoint = self.platform.endpoint
+        awaiting = self.machine.awaiting
+        if awaiting == "acks":
+            epoch = self.core.epoch
+            reply = endpoint.receive(
+                match=lambda m: (
+                    m.kind in ("ACK", "NACK")
+                    and m.payload["batch_id"] == self.batch_id
+                    and m.payload["epoch"] == epoch
+                ),
+            )
+        elif awaiting == "fetch":
+            fetch_id = (self.batch_id, self.core.epoch, self.core.fetch_key)
+            reply = endpoint.receive(
+                kind="READR",
+                match=lambda m: m.payload["request_id"] == fetch_id,
+            )
+        else:  # pragma: no cover - kernel contract violation
+            raise ProtocolError(
+                f"agent machine stalled (awaiting={awaiting!r})"
+            )
+        yield reply | self._deadline
+        if not reply.processed:
+            # The deadline fired; withdraw the pending receive so it
+            # cannot swallow a message meant for a later epoch check.
+            if not reply.triggered:
+                reply.succeed(None)
+            fired, self._deadline = self._deadline_kind, None
+            self._deadline_kind = None
+            return self.machine.on(TimerFired(fired, env.now))
+        msg = reply.value
+        return self.machine.on(
+            MsgReceived(msg.kind, msg.payload, env.now, src=msg.src)
+        )
+
+    # -- completion -----------------------------------------------------------
+
+    def _on_lock_won(self, effect: LockWon) -> None:
+        """Record ALT inputs (overwritten if the claim round fails and
+        the lock has to be re-acquired)."""
+        now = self.platform.env.now
+        self._trace(
+            "lock-won",
+            detail=f"{effect.reason} after {effect.visit_events} visits",
+        )
+        for record in self.records:
+            record.lock_acquired_at = now
+            record.visits_to_lock = effect.visits
+            record.extra["visit_events_to_lock"] = effect.visit_events
+            record.extra["win_reason"] = effect.reason
+            record.extra["parks"] = effect.parks
+        if self._obs is not None and self._span_lockwait is not None:
+            self._span_lockwait.finish(
+                end=now, visits=effect.visit_events, reason=effect.reason,
+            )
+            self._span_lockwait = None
+            self._m_visits.observe(effect.visits)
+
+    def _on_dispose(self, effect: Dispose) -> None:
+        # RMW records report the final (transformed) value.
+        by_id = {w.request_id: w for w in effect.writes}
+        for record in self.records:
+            write = by_id.get(record.request_id)
+            if write is not None:
+                record.value = write.value
+        self._finish(effect.status)
 
     def _finish(self, status: str) -> None:
+        self._finished = True
         now = self.platform.env.now
         for record in self.records:
             record.completed_at = now
-            record.total_visits = self.visit_events
-            record.extra["failed_claims"] = self.failed_claims
+            record.total_visits = self.core.visit_events
+            record.extra["failed_claims"] = self.core.failed_claims
             record.status = status
         if self._obs is not None:
             if self._span_lockwait is not None:
@@ -252,301 +444,3 @@ class UpdateAgent(MobileAgent):
                 if status == "committed" and record.lock_time is not None:
                     self._m_alt.observe(record.lock_time)
         self.dispose()
-
-    def _holds_lock(self, decision: Decision) -> bool:
-        """Paper rule: majority of top-ranks, or the identifier tie-break."""
-        if decision.outcome == WIN:
-            return True
-        return (
-            decision.outcome == STALEMATE
-            and decision.winner == self.agent_id
-        )
-
-    # -- movement -------------------------------------------------------------
-
-    def _advance(self, decision: Decision):
-        """One step of the acquisition loop: tour, or park and refresh."""
-        env = self.platform.env
-        candidates = self.tour_remaining - self.unavailable
-        if candidates:
-            dst = self.itinerary.next_host(
-                self.location, candidates, self.marp.deployment.topology,
-                self.stream,
-            )
-            self._trace("migrate", detail=f"-> {dst}")
-            hop_span = None
-            if self._obs is not None:
-                hop_span = self._obs.start_span(
-                    "migrate", parent=self._span_request, start=env.now,
-                    agent=str(self.agent_id), src=self.location, dst=dst,
-                )
-            try:
-                yield from self.migrate(dst)
-            except ReplicaUnavailable:
-                # Paper §2: give up on this replica until the next round.
-                self.unavailable.add(dst)
-                if hop_span is not None:
-                    hop_span.finish(end=env.now, status="unavailable")
-                    self._m_migrations.inc(outcome="unavailable")
-                self._trace("unavailable", host=dst)
-                return
-            if hop_span is not None:
-                hop_span.finish(end=env.now)
-                self._m_migrations.inc(outcome="ok")
-            self._trace("arrive")
-            yield from self._visit_current()
-            return
-
-        # Tour exhausted without a result: park at the current server
-        # until a lock release here, or the park timeout ([D2]).
-        self.park_count += 1
-        self._trace("park")
-        park_span = None
-        if self._obs is not None:
-            self._m_parks.inc(host=self.location)
-            park_span = self._obs.start_span(
-                "park", parent=self._span_request, start=env.now,
-                agent=str(self.agent_id), host=self.location,
-            )
-        server: ReplicaServer = self.platform.service("replica")
-        release = server.wait_release()
-        yield release | env.timeout(self.config.park_timeout)
-        if park_span is not None:
-            park_span.finish(end=env.now)
-        self._trace("wake")
-        yield from self._visit_current()
-
-        refreshed = self._decide()
-        if refreshed.outcome == OTHER or self._holds_lock(refreshed):
-            # Either done, or a known winner is in its update round; its
-            # COMMIT will wake us here. No need to tour.
-            return
-        # Still unclear: start a refresh tour over all other servers;
-        # previously unavailable replicas get another chance in the new
-        # round.
-        self.unavailable.clear()
-        self.tour_remaining = (
-            set(self.marp.deployment.hosts) - {self.location}
-        )
-
-    # -- visiting -----------------------------------------------------------------
-
-    def _visit_current(self):
-        """Interact with the co-located replica server (one 'visit')."""
-        env = self.platform.env
-        server: ReplicaServer = self.platform.service("replica")
-        if server.config.agent_service_time > 0:
-            yield env.timeout(server.config.agent_service_time)
-
-        if (
-            self.agent_id not in server.updated_list
-            and self.agent_id not in server.locking_list
-        ):
-            server.request_lock(self.agent_id, self.batch_id)
-
-        self.table.update(server.lock_view())
-        self.table.merge_bulletin(server.read_bulletin())
-        server.post_bulletin(self.table.shareable_views(server.host))
-
-        self.visited.add(server.host)
-        self.visit_events += 1
-        self.tour_remaining.discard(server.host)
-        self._trace(
-            "visit",
-            detail=(
-                f"rank {server.locking_list.rank(self.agent_id)} of "
-                f"{len(server.locking_list)}"
-            ),
-        )
-
-    def _decide(self) -> Decision:
-        return decide(
-            self.table,
-            self.marp.deployment.n_replicas,
-            self.agent_id,
-            votes=self.marp.votes,
-            unavailable=frozenset(self.unavailable),
-        )
-
-    # -- the claim round (UPDATE / ACK / COMMIT) ------------------------------------
-
-    def _broadcast(self, kind: str, writes=()) -> UpdatePayload:
-        payload = UpdatePayload(
-            batch_id=self.batch_id,
-            agent_id=self.agent_id,
-            origin=self.home,
-            writes=tuple(writes),
-            reply_to=self.location,
-            epoch=self.claim_epoch,
-        )
-        self.platform.endpoint.broadcast(kind, payload, include_self=True)
-        return payload
-
-    def _claim_round(self, decision: Decision):
-        """Broadcast UPDATE, gather a majority of grants, COMMIT.
-
-        Returns ``"committed"`` on success. On failure it broadcasts
-        RELEASE (keeping the agent's lock entries) and returns
-        ``"conflict"`` when another claimer NACKed us, or ``"timeout"``
-        when too few replicas answered at all — the caller treats the
-        two very differently (back off vs. stall for recovery).
-        """
-        env = self.platform.env
-        endpoint = self.platform.endpoint
-        majority = self.marp.vote_majority
-        total_votes = self.marp.total_votes
-        vote_of = self.marp.vote_of
-
-        self.claim_epoch += 1
-        epoch = self.claim_epoch
-        claim_span = None
-        if self._obs is not None:
-            claim_span = self._obs.start_span(
-                "claim", parent=self._span_request, start=env.now,
-                agent=str(self.agent_id), epoch=epoch,
-            )
-
-        def _outcome(outcome: str) -> str:
-            if claim_span is not None:
-                claim_span.finish(end=env.now, status=outcome)
-                self._m_claims.inc(outcome=outcome)
-            return outcome
-
-        self._trace("claim", detail=f"epoch {epoch}")
-        self._broadcast("UPDATE")
-
-        acked_versions: Dict[str, Dict[str, int]] = {}
-        acked_votes = 0
-        nack_votes = 0
-        deadline = env.timeout(self.config.ack_timeout)
-        while acked_votes < majority:
-            reply = endpoint.receive(
-                match=lambda m: (
-                    m.kind in ("ACK", "NACK")
-                    and m.payload["batch_id"] == self.batch_id
-                    and m.payload["epoch"] == epoch
-                ),
-            )
-            yield reply | deadline
-            if not reply.processed:
-                # Claim timed out; withdraw the pending receive so it
-                # cannot swallow a message meant for a later epoch check.
-                if not reply.triggered:
-                    reply.succeed(None)
-                break
-            msg = reply.value
-            sender = msg.payload["from"]
-            if msg.kind == "ACK":
-                if sender not in acked_versions:
-                    acked_versions[sender] = msg.payload["versions"]
-                    acked_votes += vote_of(sender)
-            else:
-                nack_votes += vote_of(sender)
-                # Early exit when a majority is provably out of reach.
-                if total_votes - nack_votes < majority:
-                    break
-
-        if acked_votes >= majority:
-            base_values = yield from self._resolve_transforms(acked_versions)
-            if base_values is _FETCH_FAILED:
-                self._broadcast("RELEASE")
-                return _outcome("timeout")
-            writes = self._assign_versions(
-                decision, acked_versions, base_values
-            )
-            self._broadcast("COMMIT", writes=writes)
-            self._trace(
-                "commit",
-                detail=", ".join(f"{w.key}=v{w.version}" for w in writes),
-            )
-            return _outcome("committed")
-
-        self._broadcast("RELEASE")
-        return _outcome("conflict" if nack_votes > 0 else "timeout")
-
-    def _resolve_transforms(self, acked_versions):
-        """Fetch the freshest committed value for every RMW key.
-
-        The source replica is the acknowledger reporting the highest
-        version for the key — it holds "the most recent copy" the quorum
-        knows. Returns ``{key: base_value}`` (or :data:`_FETCH_FAILED`
-        when a fetch times out, which fails the claim).
-        """
-        env = self.platform.env
-        endpoint = self.platform.endpoint
-        rmw_keys = {
-            record.key
-            for record in self.records
-            if isinstance(record.value, Transform)
-        }
-        base_values: Dict[str, Any] = {}
-        for key in sorted(rmw_keys):
-            best_host, best_version = None, 0
-            for host, versions in acked_versions.items():
-                if versions.get(key, 0) >= best_version:
-                    best_host, best_version = host, versions.get(key, 0)
-            if best_version == 0:
-                base_values[key] = None  # never written
-                continue
-            fetch_id = (self.batch_id, self.claim_epoch, key)
-            endpoint.send(
-                best_host, "READQ",
-                payload={"request_id": fetch_id, "key": key},
-            )
-            reply = endpoint.receive(
-                kind="READR",
-                match=lambda m: m.payload["request_id"] == fetch_id,
-            )
-            yield reply | env.timeout(self.config.ack_timeout)
-            if not reply.processed:
-                if not reply.triggered:
-                    reply.succeed(None)
-                return _FETCH_FAILED
-            base_values[key] = reply.value.payload["value"]
-        return base_values
-
-    def _assign_versions(
-        self,
-        decision: Decision,
-        acked_versions: Dict[str, Dict[str, int]],
-        base_values: Dict[str, Any],
-    ):
-        """[D3]: next versions above everything known committed.
-
-        The ceiling folds (a) the Locking Table's monotone committed-max
-        and (b) the version vectors reported in this claim's ACKs. Any
-        previous winner's grant at an ACKing server was released by the
-        processing of its COMMIT, so the ACK quorum always reports every
-        previously committed version — the ceiling is collision-free.
-
-        RMW requests chain: within a batch, each Transform sees the
-        value produced by the previous write to the same key.
-        """
-        next_version: Dict[str, int] = {}
-        current_value: Dict[str, Any] = dict(base_values)
-        writes = []
-        for record in self.records:
-            key = record.key
-            if key not in next_version:
-                ceiling = self.table.version_ceiling(
-                    key, decision.quorum_hosts
-                )
-                for versions in acked_versions.values():
-                    ceiling = max(ceiling, versions.get(key, 0))
-                next_version[key] = ceiling + 1
-            if isinstance(record.value, Transform):
-                value = record.value(current_value.get(key))
-                record.value = value  # the record reports the final value
-            else:
-                value = record.value
-            current_value[key] = value
-            writes.append(
-                WriteOp(
-                    request_id=record.request_id,
-                    key=key,
-                    value=value,
-                    version=next_version[key],
-                )
-            )
-            next_version[key] += 1
-        return tuple(writes)

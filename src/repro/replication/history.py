@@ -1,68 +1,14 @@
-"""Commit history recording for consistency audits.
+"""Commit history recording (compatibility shim).
 
-Each replica appends a :class:`CommitRecord` every time it *commits* an
-update; the :mod:`repro.analysis.consistency` auditor compares these logs
-across replicas against the invariants of DESIGN.md §5 (identical global
-order projection, per-key version monotonicity, final-state equality).
+The history log is part of the protocol's auditable state, so the
+implementation now lives in the sans-IO kernel —
+:mod:`repro.core.machines.structures`. This module re-exports it
+unchanged for existing importers (notably
+:mod:`repro.analysis.consistency`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from repro.core.machines.structures import CommitRecord, HistoryLog
 
 __all__ = ["CommitRecord", "HistoryLog"]
-
-
-@dataclass(frozen=True)
-class CommitRecord:
-    """One committed update as seen by one replica."""
-
-    request_id: int
-    key: str
-    value: Any
-    version: int
-    committed_at: float
-    origin: str  # home server of the request
-
-    def identity(self) -> Tuple[int, str, int]:
-        """Fields that must agree across replicas for the same commit."""
-        return (self.request_id, self.key, self.version)
-
-
-class HistoryLog:
-    """Append-only commit log of a single replica."""
-
-    def __init__(self, host: str) -> None:
-        self.host = host
-        self._records: List[CommitRecord] = []
-
-    def append(self, record: CommitRecord) -> None:
-        if self._records and record.committed_at < self._records[-1].committed_at:
-            raise ValueError(
-                f"history at {self.host} must be appended in time order"
-            )
-        self._records.append(record)
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __iter__(self):
-        return iter(self._records)
-
-    def records(self) -> List[CommitRecord]:
-        return list(self._records)
-
-    def identities(self) -> List[Tuple[int, str, int]]:
-        """The commit-identity sequence used for order comparison."""
-        return [record.identity() for record in self._records]
-
-    def versions_for(self, key: str) -> List[int]:
-        """Version sequence applied for one key, in commit order."""
-        return [r.version for r in self._records if r.key == key]
-
-    def last(self) -> Optional[CommitRecord]:
-        return self._records[-1] if self._records else None
-
-    def __repr__(self) -> str:
-        return f"<HistoryLog {self.host!r} commits={len(self._records)}>"

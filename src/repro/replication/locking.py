@@ -1,146 +1,19 @@
-"""The paper's per-server locking structures.
+"""The paper's per-server locking structures (compatibility shim).
 
-Each replicated server maintains (paper §3.2):
-
-* a **Locking List (LL)** — lock requests from visiting mobile agents,
-  "sorted according to the time the entries are created" (i.e. FIFO
-  append order); and
-* an **Updated List (UL)** — identifiers of agents "that have already
-  obtained the lock and performed the actual update".
-
-An agent's rank in a server's LL is its position; permission to update is
-granted to the agent ranked *top* in the LLs of a majority of servers.
+The Locking List (LL) and Updated List (UL) are protocol-owned data
+structures, so they now live in the sans-IO kernel —
+:mod:`repro.core.machines.structures` — where both execution backends
+(and the replay harness) share one implementation. This module re-exports
+them unchanged for existing importers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
-
-from repro.errors import ProtocolError
-from repro.agents.identity import AgentId
+from repro.core.machines.structures import (
+    LockEntry,
+    LockingList,
+    LockView,
+    UpdatedList,
+)
 
 __all__ = ["LockEntry", "LockingList", "UpdatedList", "LockView"]
-
-
-@dataclass(frozen=True)
-class LockEntry:
-    """One agent's pending lock request at one server."""
-
-    agent_id: AgentId
-    request_id: int
-    enqueued_at: float
-
-
-#: An immutable view of a server's LL at a point in time: the ordered
-#: tuple of agent ids, newest last. Shared between agents (information
-#: sharing) and merged into Locking Tables.
-LockView = Tuple[AgentId, ...]
-
-
-class LockingList:
-    """FIFO list of pending lock requests at one replica server."""
-
-    def __init__(self, host: str) -> None:
-        self.host = host
-        self._entries: List[LockEntry] = []
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def __contains__(self, agent_id: AgentId) -> bool:
-        return any(e.agent_id == agent_id for e in self._entries)
-
-    def append(self, entry: LockEntry) -> None:
-        """Append a new lock request (one entry per agent)."""
-        if entry.agent_id in self:
-            raise ProtocolError(
-                f"agent {entry.agent_id} already holds a lock entry at "
-                f"{self.host}"
-            )
-        if self._entries and entry.enqueued_at < self._entries[-1].enqueued_at:
-            raise ProtocolError(
-                f"lock entries at {self.host} must be appended in time order"
-            )
-        self._entries.append(entry)
-
-    def top(self) -> Optional[AgentId]:
-        """The agent currently ranked first, or None if empty."""
-        return self._entries[0].agent_id if self._entries else None
-
-    def rank(self, agent_id: AgentId) -> Optional[int]:
-        """0-based position of the agent, or None if absent."""
-        for index, entry in enumerate(self._entries):
-            if entry.agent_id == agent_id:
-                return index
-        return None
-
-    def remove(self, agent_id: AgentId) -> bool:
-        """Remove the agent's entry (after its COMMIT). True if present."""
-        for index, entry in enumerate(self._entries):
-            if entry.agent_id == agent_id:
-                del self._entries[index]
-                return True
-        return False
-
-    def view(self) -> LockView:
-        """Immutable ordered snapshot of the queued agent ids."""
-        return tuple(entry.agent_id for entry in self._entries)
-
-    def entries(self) -> List[LockEntry]:
-        return list(self._entries)
-
-    def clear(self) -> None:
-        self._entries.clear()
-
-    def __repr__(self) -> str:
-        ids = ", ".join(str(e.agent_id) for e in self._entries)
-        return f"<LockingList {self.host!r}: [{ids}]>"
-
-
-class UpdatedList:
-    """Ordered set of agents that completed their update at this server.
-
-    Merging ULs across servers yields an agent's Updated Agents List
-    (UAL) — agents known to have finished, whose (possibly stale) lock
-    entries can be disregarded.
-    """
-
-    def __init__(self) -> None:
-        self._order: List[AgentId] = []
-        self._members: set = set()
-
-    def __len__(self) -> int:
-        return len(self._order)
-
-    def __contains__(self, agent_id: AgentId) -> bool:
-        return agent_id in self._members
-
-    def add(self, agent_id: AgentId) -> bool:
-        """Record a completed agent. True if newly added."""
-        if agent_id in self._members:
-            return False
-        self._members.add(agent_id)
-        self._order.append(agent_id)
-        return True
-
-    def merge(self, other_ids) -> int:
-        """Union in another UL/UAL; returns number of new entries."""
-        added = 0
-        for agent_id in other_ids:
-            if self.add(agent_id):
-                added += 1
-        return added
-
-    def ids(self) -> Tuple[AgentId, ...]:
-        """Completion order as an immutable tuple."""
-        return tuple(self._order)
-
-    def as_set(self) -> frozenset:
-        return frozenset(self._members)
-
-    def __iter__(self):
-        return iter(self._order)
-
-    def __repr__(self) -> str:
-        return f"<UpdatedList n={len(self._order)}>"

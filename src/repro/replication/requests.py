@@ -12,6 +12,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.core.machines.wire import Transform
+
 __all__ = ["READ", "WRITE", "RequestRecord", "Transform", "new_request_id"]
 
 #: Operation tags.
@@ -19,34 +21,6 @@ READ = "read"
 WRITE = "write"
 
 _request_counter = itertools.count(1)
-
-
-class Transform:
-    """A read-modify-write update: ``new_value = fn(current_value)``.
-
-    Submit via :meth:`MARP.submit_rmw`. The winning agent fetches the
-    freshest committed copy from its acknowledgement quorum ("uses the
-    most recent copy", paper §3.1) before applying ``fn``, so the
-    transformation always sees the latest committed state.
-    """
-
-    __slots__ = ("fn", "description")
-
-    def __init__(self, fn, description: str = "") -> None:
-        if not callable(fn):
-            raise TypeError(f"Transform needs a callable, got {fn!r}")
-        self.fn = fn
-        self.description = description or getattr(fn, "__name__", "fn")
-
-    def __call__(self, current):
-        return self.fn(current)
-
-    def wire_size(self) -> int:
-        # A shipped transformation is code; charge a small fixed cost.
-        return 128
-
-    def __repr__(self) -> str:
-        return f"Transform({self.description})"
 
 
 def new_request_id() -> int:

@@ -1,34 +1,52 @@
-"""The replicated server — the paper's Algorithm 2.
+"""The replicated server — the DES driver for the paper's Algorithm 2.
 
-A :class:`ReplicaServer` is the stationary process at one host. Visiting
-mobile agents interact with it **locally** (direct method calls — "taking
-the advantage of being in the same site as the peer process"), while
-remote coordination arrives as network messages:
+All protocol *logic* lives in the sans-IO
+:class:`~repro.core.machines.replica.ReplicaMachine`; this class is the
+discrete-event **driver** around it: it owns the simulation process, the
+network endpoint, tracing, observability, and the release-waiter events
+parked agents block on. Every machine effect is translated into exactly
+one driver action:
 
-* agent arrival → ``request_lock`` appends to the Locking List and the
-  agent merges the server's lock state and bulletin-board information;
-* ``UPDATE`` message → validate, stage, acknowledge to the coordinator;
-* ``COMMIT`` message → apply the update to the versioned store, record
-  history, remove the winner's lock entry, add it to the Updated List,
-  and wake any agents parked waiting for a lock release ([D2]).
+* ``Send`` → :meth:`Endpoint.send`;
+* ``Granted`` / ``Nacked`` / ``CommitApplied`` / ``Recovered`` → the
+  grant/apply counters' metrics and the protocol trace;
+* ``QueueChanged`` → Locking-List gauge/monitor refresh;
+* ``ReleaseNotify`` → wake agents parked at this server ([D2]).
 
-Servers also run an optional recovery process: after each crash window
-(fail-stop with recovery, §2) they resynchronise their store from a live
-peer.
+Visiting mobile agents still interact with the server **locally**
+(direct method calls — "taking the advantage of being in the same site
+as the peer process"); those calls delegate to the machine's local
+interface. Servers also run an optional recovery process: after each
+crash window (fail-stop with recovery, §2) they resynchronise their
+store from a live peer via SYNC messages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.errors import ProtocolError
 from repro.agents.identity import AgentId
+from repro.core.machines.effects import (
+    CommitApplied,
+    Granted,
+    Nacked,
+    QueueChanged,
+    Recovered,
+    ReleaseNotify,
+    Send,
+)
+from repro.core.machines.config import DES_TUNABLES
+from repro.core.machines.replica import ReplicaMachine
+from repro.core.machines.wire import (
+    SharedView,
+    UpdatePayload,
+    VisitData,
+    WriteOp,
+)
 from repro.net.message import Message
 from repro.net.network import Endpoint, Network
-from repro.replication.history import CommitRecord, HistoryLog
-from repro.replication.locking import LockEntry, LockingList, LockView, UpdatedList
-from repro.replication.store import VersionedStore
 from repro.sim.core import Environment
 from repro.sim.events import Event
 
@@ -38,6 +56,12 @@ __all__ = ["ReplicaServer", "ReplicaConfig", "SharedView", "UpdatePayload"]
 @dataclass
 class ReplicaConfig:
     """Tunables of a replica server.
+
+    The protocol-level fields (``enable_bulletin``, ``grant_ttl``)
+    default to the kernel's :data:`~repro.core.machines.config.DES_TUNABLES`
+    and are read by the :class:`ReplicaMachine` directly (this dataclass
+    *is* the machine's tunables object); the service-time fields are
+    DES-only costs charged by this driver.
 
     Attributes
     ----------
@@ -66,69 +90,13 @@ class ReplicaConfig:
     agent_service_time: float = 2.0
     update_apply_time: float = 0.5
     read_service_time: float = 0.5
-    enable_bulletin: bool = True
+    enable_bulletin: bool = DES_TUNABLES.enable_bulletin
     recover_on_restart: bool = True
-    grant_ttl: float = 10_000.0
-
-
-@dataclass(frozen=True)
-class SharedView:
-    """A (possibly stale) snapshot of one server's lock state.
-
-    Carried by agents in their Locking Tables and deposited on server
-    bulletin boards for other agents. ``versions`` is the server's
-    per-key version vector at snapshot time — this is how a winner
-    "checks the time of last update of all the quorum members" ([D3]):
-    a view that certifies the winner as top also certifies which commits
-    that server had applied.
-    """
-
-    host: str
-    as_of: float
-    view: LockView
-    updated: frozenset  # agent ids known to have completed
-    versions: Any = None  # Dict[str, int] | None
-
-    def version_of(self, key: str) -> int:
-        if not self.versions:
-            return 0
-        return self.versions.get(key, 0)
-
-    def is_newer_than(self, other: Optional["SharedView"]) -> bool:
-        return other is None or self.as_of > other.as_of
-
-
-@dataclass(frozen=True)
-class WriteOp:
-    """One write within an UPDATE batch (the agent's Request List)."""
-
-    request_id: int
-    key: str
-    value: Any
-    version: int
-
-
-@dataclass(frozen=True)
-class UpdatePayload:
-    """Body of UPDATE/COMMIT/ABORT/RELEASE messages.
-
-    ``batch_id`` identifies the agent's update batch (= the first carried
-    request id); ``epoch`` distinguishes successive claim attempts of the
-    same agent so stale acknowledgements from an abandoned claim cannot
-    be counted toward a later one. UPDATE and RELEASE carry no writes;
-    COMMIT carries the full Request List with the final versions.
-    """
-
-    batch_id: int
-    agent_id: AgentId
-    origin: str
-    writes: Tuple[WriteOp, ...] = ()
-    reply_to: str = ""
-    epoch: int = 0
+    grant_ttl: float = DES_TUNABLES.grant_ttl
 
 
 class ReplicaServer:
-    """Stationary replica process implementing Algorithm 2."""
+    """DES driver around a :class:`ReplicaMachine` (Algorithm 2)."""
 
     def __init__(
         self,
@@ -147,28 +115,10 @@ class ReplicaServer:
         self.network = network
         self.peers = list(peers)
         self.config = config or ReplicaConfig()
+        #: the sans-IO protocol kernel; the config doubles as tunables
+        self.machine = ReplicaMachine(host, self.peers, self.config)
 
-        self.store = VersionedStore()
-        self.locking_list = LockingList(host)
-        self.updated_list = UpdatedList()
-        self.history = HistoryLog(host)
-        self.bulletin: Dict[str, SharedView] = {}
-        self._pending_updates: Dict[int, UpdatePayload] = {}
         self._release_waiters: List[Event] = []
-        # Exclusive update grant: the server-side promise behind an ACK.
-        # While held (and unexpired), UPDATEs from other agents are
-        # NACKed, which is what makes a majority of ACKs an exclusive
-        # critical section regardless of how stale the claimer's Locking
-        # Table was.
-        self._grant_holder: Optional[AgentId] = None
-        self._grant_batch: Optional[int] = None
-        self._grant_epoch: int = 0
-        self._grant_expires_at: float = float("-inf")
-        self.nacks_sent = 0
-
-        self.acks_sent = 0
-        self.commits_applied = 0
-        self.recoveries = 0
         #: optional ProtocolTrace, injected by Deployment.enable_tracing
         self.trace = None
         #: optional StateMonitor of the Locking List length, injected by
@@ -182,85 +132,114 @@ class ReplicaServer:
         )
 
     # ------------------------------------------------------------------
-    # Local interface used by co-located mobile agents
+    # Machine state, exposed for drivers/tests/analysis
     # ------------------------------------------------------------------
 
     @property
     def n_replicas(self) -> int:
         return len(self.peers)
 
+    @property
+    def store(self):
+        return self.machine.store
+
+    @property
+    def locking_list(self):
+        return self.machine.locking_list
+
+    @property
+    def updated_list(self):
+        return self.machine.updated_list
+
+    @property
+    def history(self):
+        return self.machine.history
+
+    @property
+    def bulletin(self) -> Dict[str, SharedView]:
+        return self.machine.bulletin
+
+    @property
+    def _pending_updates(self) -> Dict[int, UpdatePayload]:
+        return self.machine.pending_updates
+
+    @property
+    def _grant_holder(self) -> Optional[AgentId]:
+        return self.machine.grant_holder
+
+    @property
+    def _grant_batch(self) -> Optional[int]:
+        return self.machine.grant_batch
+
+    @property
+    def _grant_epoch(self) -> int:
+        return self.machine.grant_epoch
+
+    @property
+    def _grant_expires_at(self) -> float:
+        return self.machine.grant_expires_at
+
+    @property
+    def acks_sent(self) -> int:
+        return self.machine.acks_sent
+
+    @property
+    def nacks_sent(self) -> int:
+        return self.machine.nacks_sent
+
+    @property
+    def commits_applied(self) -> int:
+        return self.machine.commits_applied
+
+    @property
+    def recoveries(self) -> int:
+        return self.machine.recoveries
+
+    # ------------------------------------------------------------------
+    # Local interface used by co-located mobile agents
+    # ------------------------------------------------------------------
+
+    def begin_visit(self, agent_id: AgentId, request_id: int) -> VisitData:
+        """One agent visit: guarded lock enqueue + information exchange."""
+        data, effects = self.machine.begin_visit(
+            agent_id, request_id, self.env.now
+        )
+        self._perform_all(effects)
+        return data
+
     def request_lock(self, agent_id: AgentId, request_id: int) -> None:
         """Append the visiting agent to the Locking List (idempotent)."""
-        if agent_id in self.locking_list:
-            return
-        if agent_id in self.updated_list:
-            raise ProtocolError(
-                f"agent {agent_id} already completed its update; it must "
-                "not re-request the lock"
-            )
-        self.locking_list.append(
-            LockEntry(agent_id=agent_id, request_id=request_id,
-                      enqueued_at=self.env.now)
+        self._perform_all(
+            self.machine.request_lock(agent_id, request_id, self.env.now)
         )
-        self._note_queue()
 
     def requeue_lock(self, agent_id: AgentId, request_id: int) -> None:
-        """Move the agent's lock entry to the tail of the Locking List.
-
-        A voluntary back-off primitive: withdrawing and immediately
-        re-appending one's *own* entry can only demote oneself, so
-        mutual exclusion is unaffected. The current protocol resolves
-        stalemates through grant-certified claims instead ([D1]), but
-        the primitive remains available to alternative policies.
-        """
-        self.locking_list.remove(agent_id)
-        self.locking_list.append(
-            LockEntry(agent_id=agent_id, request_id=request_id,
-                      enqueued_at=self.env.now)
+        """Move the agent's lock entry to the tail of the Locking List."""
+        self._perform_all(
+            self.machine.requeue_lock(agent_id, request_id, self.env.now)
         )
-        self._notify_release()
 
     def lock_view(self) -> SharedView:
         """Fresh snapshot of this server's lock state."""
-        return SharedView(
-            host=self.host,
-            as_of=self.env.now,
-            view=self.locking_list.view(),
-            updated=self.updated_list.as_set(),
-            versions=self.store.version_vector(),
-        )
+        return self.machine.lock_view(self.env.now)
 
     def read_bulletin(self) -> Dict[str, SharedView]:
         """Views of *other* servers deposited by previous visitors."""
-        if not self.config.enable_bulletin:
-            return {}
-        return dict(self.bulletin)
+        return self.machine.read_bulletin()
 
     def post_bulletin(self, views: Dict[str, SharedView]) -> int:
-        """Deposit lock views; keeps only the freshest per server.
-
-        Returns the number of entries that were news to this server.
-        """
-        if not self.config.enable_bulletin:
-            return 0
-        posted = 0
-        for host, view in views.items():
-            if host == self.host:
-                continue  # our own state is always fresher locally
-            if view.is_newer_than(self.bulletin.get(host)):
-                self.bulletin[host] = view
-                posted += 1
-        return posted
+        """Deposit lock views; keeps only the freshest per server."""
+        return self.machine.post_bulletin(views)
 
     def read(self, key: str):
         """Local read — the paper's fast read path (not guaranteed fresh)."""
-        return self.store.read(key)
+        return self.machine.read(key)
 
     def version_of(self, key: str) -> int:
-        return self.store.version_of(key)
+        return self.machine.version_of(key)
 
     def last_update_time(self, key: str) -> float:
-        return self.store.last_update_time(key)
+        return self.machine.last_update_time(key)
 
     def wait_release(self) -> Event:
         """Event that fires at the next lock release at this server.
@@ -292,20 +271,68 @@ class ReplicaServer:
                 # delivered during the crash window are already dropped by
                 # the network; this guards the exact boundary instant.)
                 continue
-            if msg.kind == "UPDATE":
-                yield from self._on_update(msg)
-            elif msg.kind == "COMMIT":
-                yield from self._on_commit(msg)
-            elif msg.kind == "ABORT":
-                self._on_abort(msg)
-            elif msg.kind == "RELEASE":
-                self._on_release(msg)
-            elif msg.kind == "SYNC_REQUEST":
-                self._on_sync_request(msg)
-            elif msg.kind == "SYNC_REPLY":
-                self._on_sync_reply(msg)
-            elif msg.kind == "READQ":
-                self._on_read_query(msg)
+            if (
+                msg.kind in ("UPDATE", "COMMIT")
+                and self.config.update_apply_time > 0
+            ):
+                yield self.env.timeout(self.config.update_apply_time)
+            effects = self.machine.on_message(
+                msg.kind, msg.payload, src=msg.src, now=self.env.now
+            )
+            self._perform_all(effects, msg)
+
+    def request_sync(self, peer: str) -> None:
+        """Ask ``peer`` for a store snapshot (post-crash catch-up)."""
+        self.endpoint.send(peer, "SYNC_REQUEST", payload={})
+
+    # ------------------------------------------------------------------
+    # Effect interpretation
+    # ------------------------------------------------------------------
+
+    def _perform_all(self, effects, msg: Optional[Message] = None) -> None:
+        for effect in effects:
+            self._perform(effect, msg)
+
+    def _perform(self, effect, msg: Optional[Message] = None) -> None:
+        if isinstance(effect, Send):
+            self.endpoint.send(
+                effect.dst,
+                effect.kind,
+                payload=effect.payload,
+                category=effect.category or "control",
+            )
+        elif isinstance(effect, Granted):
+            if self._obs is not None:
+                self._obs_grants.inc(host=self.host, outcome="ack")
+                if msg is not None:
+                    self._obs_grant_latency.observe(
+                        self.env.now - msg.sent_at, host=self.host
+                    )
+            self._trace("grant", agent_id=effect.agent_id,
+                        request_id=effect.batch_id,
+                        detail=f"epoch {effect.epoch}")
+        elif isinstance(effect, Nacked):
+            if self._obs is not None:
+                self._obs_grants.inc(host=self.host, outcome="nack")
+            self._trace("nack", agent_id=effect.agent_id,
+                        request_id=effect.batch_id,
+                        detail=f"held by {effect.holder}")
+        elif isinstance(effect, CommitApplied):
+            if self._obs is not None:
+                self._obs_applies.inc(host=self.host)
+            self._trace("apply", agent_id=effect.agent_id,
+                        request_id=effect.request_id,
+                        detail=f"{effect.key}=v{effect.version}")
+        elif isinstance(effect, Recovered):
+            self._trace("recover", detail=f"snapshot from {effect.src}")
+        elif isinstance(effect, QueueChanged):
+            self._note_queue()
+        elif isinstance(effect, ReleaseNotify):
+            self._notify_release()
+
+    # ------------------------------------------------------------------
+    # Observability & tracing
+    # ------------------------------------------------------------------
 
     def attach_observability(self, hub) -> None:
         """Register this replica's metric families with a hub.
@@ -348,187 +375,6 @@ class ReplicaServer:
                 agent=str(agent_id) if agent_id is not None else None,
                 request_id=request_id, detail=detail,
             )
-
-    def _grant_is_free(self) -> bool:
-        return (
-            self._grant_holder is None
-            or self.env.now > self._grant_expires_at
-        )
-
-    def _release_grant(
-        self, agent_id: AgentId, up_to_epoch: Optional[int] = None
-    ) -> None:
-        """Free the grant if held by ``agent_id``.
-
-        ``up_to_epoch`` (RELEASE/ABORT messages) guards against the race
-        where a re-claim's UPDATE overtakes the failed claim's RELEASE:
-        a release must not clear a grant issued for a *later* epoch.
-        """
-        if self._grant_holder != agent_id:
-            return
-        if up_to_epoch is not None and self._grant_epoch > up_to_epoch:
-            return
-        self._grant_holder = None
-        self._grant_batch = None
-        self._grant_epoch = 0
-        self._grant_expires_at = float("-inf")
-
-    def _on_update(self, msg: Message):
-        """Grant request: ACK (with our version vector) or NACK.
-
-        The ACK's version vector is what lets the winner pick versions
-        above everything previously committed ([D3]): any earlier
-        winner's grant here was released by processing its COMMIT, i.e.
-        *after* applying its writes, so an ACK never predates a commit
-        this server participated in.
-        """
-        payload: UpdatePayload = msg.payload
-        if self.config.update_apply_time > 0:
-            yield self.env.timeout(self.config.update_apply_time)
-        if payload.agent_id == self._grant_holder or self._grant_is_free():
-            if self._grant_holder == payload.agent_id:
-                # A stale UPDATE must not roll the epoch backwards.
-                self._grant_epoch = max(self._grant_epoch, payload.epoch)
-            else:
-                self._grant_epoch = payload.epoch
-            self._grant_holder = payload.agent_id
-            self._grant_batch = payload.batch_id
-            self._grant_expires_at = self.env.now + self.config.grant_ttl
-            self._pending_updates[payload.batch_id] = payload
-            self.acks_sent += 1
-            if self._obs is not None:
-                self._obs_grants.inc(host=self.host, outcome="ack")
-                self._obs_grant_latency.observe(
-                    self.env.now - msg.sent_at, host=self.host
-                )
-            self._trace("grant", agent_id=payload.agent_id,
-                        request_id=payload.batch_id,
-                        detail=f"epoch {payload.epoch}")
-            self.endpoint.send(
-                payload.reply_to,
-                "ACK",
-                payload={
-                    "batch_id": payload.batch_id,
-                    "epoch": payload.epoch,
-                    "from": self.host,
-                    "versions": self.store.version_vector(),
-                },
-            )
-        else:
-            self.nacks_sent += 1
-            if self._obs is not None:
-                self._obs_grants.inc(host=self.host, outcome="nack")
-            self._trace("nack", agent_id=payload.agent_id,
-                        request_id=payload.batch_id,
-                        detail=f"held by {self._grant_holder}")
-            self.endpoint.send(
-                payload.reply_to,
-                "NACK",
-                payload={
-                    "batch_id": payload.batch_id,
-                    "epoch": payload.epoch,
-                    "from": self.host,
-                    "holder": str(self._grant_holder),
-                },
-            )
-
-    def _on_commit(self, msg: Message):
-        payload: UpdatePayload = msg.payload
-        # COMMIT is self-contained: even if our UPDATE was lost (e.g. we
-        # were briefly down), the commit can still be applied.
-        self._pending_updates.pop(payload.batch_id, None)
-        if self.config.update_apply_time > 0:
-            yield self.env.timeout(self.config.update_apply_time)
-        for write in payload.writes:
-            applied = self.store.apply(
-                write.key, write.value, write.version, self.env.now
-            )
-            if applied:
-                self.history.append(
-                    CommitRecord(
-                        request_id=write.request_id,
-                        key=write.key,
-                        value=write.value,
-                        version=write.version,
-                        committed_at=self.env.now,
-                        origin=payload.origin,
-                    )
-                )
-                self.commits_applied += 1
-                if self._obs is not None:
-                    self._obs_applies.inc(host=self.host)
-                self._trace("apply", agent_id=payload.agent_id,
-                            request_id=write.request_id,
-                            detail=f"{write.key}=v{write.version}")
-        # Locks from this agent are removed regardless of staleness.
-        self._release_grant(payload.agent_id)
-        self.locking_list.remove(payload.agent_id)
-        self.updated_list.add(payload.agent_id)
-        self._note_queue()
-        self._notify_release()
-
-    def _on_abort(self, msg: Message) -> None:
-        """An agent gave up on its request entirely: forget it."""
-        payload: UpdatePayload = msg.payload
-        self._pending_updates.pop(payload.batch_id, None)
-        self._release_grant(payload.agent_id)
-        self.locking_list.remove(payload.agent_id)
-        self.updated_list.add(payload.agent_id)
-        self._note_queue()
-        self._notify_release()
-
-    def _on_release(self, msg: Message) -> None:
-        """A claim failed: give back the grant, keep the lock entry."""
-        payload: UpdatePayload = msg.payload
-        self._pending_updates.pop(payload.batch_id, None)
-        self._release_grant(payload.agent_id, up_to_epoch=payload.epoch)
-
-    def _on_sync_request(self, msg: Message) -> None:
-        self.endpoint.send(
-            msg.src,
-            "SYNC_REPLY",
-            payload={
-                "snapshot": self.store.snapshot(),
-                "updated": tuple(self.updated_list.ids()),
-            },
-            category="data",
-        )
-
-    def _on_sync_reply(self, msg: Message) -> None:
-        snapshot = msg.payload["snapshot"]
-        self.store.install_snapshot(snapshot, self.env.now)
-        self.updated_list.merge(msg.payload["updated"])
-        self.recoveries += 1
-        self._trace("recover", detail=f"snapshot from {msg.src}")
-        # Stale lock entries from agents that finished while we were down
-        # would wedge our LL top forever; clear them.
-        for agent_id in list(self.locking_list.view()):
-            if agent_id in self.updated_list:
-                self.locking_list.remove(agent_id)
-        if self._grant_holder is not None and self._grant_holder in self.updated_list:
-            self._release_grant(self._grant_holder)
-        self._note_queue()
-        self._notify_release()
-
-    def _on_read_query(self, msg: Message) -> None:
-        """Quorum-read support ([D5] extension): report version + value."""
-        key = msg.payload["key"]
-        entry = self.store.read(key)
-        self.endpoint.send(
-            msg.src,
-            "READR",
-            payload={
-                "request_id": msg.payload["request_id"],
-                "key": key,
-                "from": self.host,
-                "version": entry.version if entry else 0,
-                "value": entry.value if entry else None,
-            },
-        )
-
-    def request_sync(self, peer: str) -> None:
-        """Ask ``peer`` for a store snapshot (post-crash catch-up)."""
-        self.endpoint.send(peer, "SYNC_REQUEST", payload={})
 
     def _notify_release(self) -> None:
         waiters, self._release_waiters = self._release_waiters, []

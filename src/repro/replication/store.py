@@ -1,103 +1,13 @@
-"""Versioned local object store held by each replica.
+"""Versioned local object store (compatibility shim).
 
-Versions are per-key, assigned by the replication protocol, and strictly
-increasing at every replica: an arriving update older than the installed
-version is *stale* and ignored (the installed value already supersedes
-it). This is what makes write-all application safe under message
-reordering ([D3] in DESIGN.md).
+The store's version-monotone apply rule is protocol logic ([D3]), so the
+implementation now lives in the sans-IO kernel —
+:mod:`repro.core.machines.structures`. This module re-exports it
+unchanged for existing importers.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from repro.core.machines.structures import VersionedStore, VersionedValue
 
 __all__ = ["VersionedValue", "VersionedStore"]
-
-
-@dataclass(frozen=True)
-class VersionedValue:
-    """One key's current state at a replica."""
-
-    value: Any
-    version: int
-    updated_at: float
-
-    def __repr__(self) -> str:
-        return f"VersionedValue(v{self.version}={self.value!r} @ {self.updated_at:g})"
-
-
-class VersionedStore:
-    """Per-replica key/value store with per-key version ordering."""
-
-    def __init__(self) -> None:
-        self._data: Dict[str, VersionedValue] = {}
-        #: versions applied, in application order, per key (for audits)
-        self.applied_log: List[Tuple[str, int, float]] = []
-        self.stale_rejections = 0
-
-    # -- reads --------------------------------------------------------------
-
-    def read(self, key: str) -> Optional[VersionedValue]:
-        """Current versioned value, or ``None`` if never written."""
-        return self._data.get(key)
-
-    def version_of(self, key: str) -> int:
-        """Installed version for ``key`` (0 if absent)."""
-        entry = self._data.get(key)
-        return entry.version if entry is not None else 0
-
-    def last_update_time(self, key: str) -> float:
-        """Paper's 'time of last update' (-inf if never written)."""
-        entry = self._data.get(key)
-        return entry.updated_at if entry is not None else float("-inf")
-
-    def keys(self) -> List[str]:
-        return sorted(self._data)
-
-    def snapshot(self) -> Dict[str, VersionedValue]:
-        """Copy of the full store (for recovery transfer and audits)."""
-        return dict(self._data)
-
-    def version_vector(self) -> Dict[str, int]:
-        """``key -> version`` for every key present."""
-        return {key: vv.version for key, vv in self._data.items()}
-
-    # -- writes -------------------------------------------------------------
-
-    def apply(
-        self, key: str, value: Any, version: int, timestamp: float
-    ) -> bool:
-        """Install ``value`` at ``version`` if it is newer.
-
-        Returns True if applied, False if stale (already superseded).
-        Duplicate deliveries of the same version are stale by definition.
-        """
-        if version <= 0:
-            raise ValueError(f"versions are positive integers: {version}")
-        current = self._data.get(key)
-        if current is not None and version <= current.version:
-            self.stale_rejections += 1
-            return False
-        self._data[key] = VersionedValue(value, version, timestamp)
-        self.applied_log.append((key, version, timestamp))
-        return True
-
-    def install_snapshot(
-        self, snapshot: Dict[str, VersionedValue], timestamp: float
-    ) -> int:
-        """Recovery catch-up: adopt any strictly newer entries.
-
-        Returns the number of keys updated.
-        """
-        updated = 0
-        for key, vv in snapshot.items():
-            if self.apply(key, vv.value, vv.version, timestamp):
-                updated += 1
-        return updated
-
-    def __len__(self) -> int:
-        return len(self._data)
-
-    def __repr__(self) -> str:
-        return f"<VersionedStore keys={len(self._data)}>"

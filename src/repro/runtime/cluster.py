@@ -57,7 +57,9 @@ class LiveCluster:
             seed=seed,
         )
         self.runtimes = {
-            host: HostRuntime(host, self.hosts, self.transport, self.config)
+            host: HostRuntime(
+                host, self.hosts, self.transport, self.config, seed=seed
+            )
             for host in self.hosts
         }
         self._workers: List[Any] = []

@@ -1,29 +1,60 @@
 """Live host runtime: one replica server as a real thread/process.
 
-Each :class:`HostRuntime` owns its replica state (store, Locking List,
-Updated List, grant) and drives visiting agents through the *same*
-decision logic as the DES backend — the Locking Table and
-:func:`repro.core.priority.decide` are reused verbatim; only the
-execution substrate differs (real clocks, real queues, pickled
-migration). This is the Aglets-prototype-shaped half of the
-reproduction.
+Each :class:`HostRuntime` is the live **driver** for the same sans-IO
+protocol kernel the DES backend runs: one
+:class:`~repro.core.machines.replica.ReplicaMachine` for the replica
+side, and one :class:`~repro.core.machines.agent.AgentMachine` rebuilt
+around every visiting agent's shipped state. The runtime owns only the
+execution substrate — the real clock, the transport mailboxes, pickled
+migration, claim deadlines, the parked-agent table and the back-off RNG
+— and translates kernel effects into transport sends, shipments, parks
+and result records. This is the Aglets-prototype-shaped half of the
+reproduction; consistency comes from the shared kernel, not from
+re-implemented control flow.
 """
 
 from __future__ import annotations
 
+import hashlib
 import queue
 import random
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.agents.identity import AgentId
-from repro.core.priority import STALEMATE, WIN, decide
-from repro.replication.server import SharedView
+from repro.core.machines.agent import BACKOFF, PARKED, AgentMachine
+from repro.core.machines.config import LIVE_TUNABLES
+from repro.core.machines.effects import (
+    Backoff,
+    Broadcast,
+    CancelTimer,
+    ClaimResolved,
+    ClaimStarted,
+    Dispose,
+    LockWon,
+    Migrate,
+    Park,
+    PostBulletin,
+    ReleaseNotify,
+    Send,
+    SetTimer,
+    Visit,
+)
+from repro.core.machines.events import (
+    Arrived,
+    MsgReceived,
+    ReplicaDown,
+    TimerFired,
+)
+from repro.core.machines.replica import ReplicaMachine
+from repro.core.machines.structures import LockEntry
+from repro.core.machines.wire import UpdatePayload, WriteOp
 from repro.runtime.shipping import LiveAgentState, ship, unship
 from repro.runtime.transport import LiveMessage, LiveTransport
 
-__all__ = ["HostRuntime", "LiveConfig", "now_ms"]
+__all__ = ["HostRuntime", "LiveConfig", "now_ms", "stable_seed"]
 
 
 def now_ms() -> float:
@@ -31,26 +62,105 @@ def now_ms() -> float:
     return time.monotonic() * 1000.0
 
 
+def stable_seed(host: str, seed: int = 0, salt: str = "") -> int:
+    """A process-independent RNG seed for ``host``.
+
+    ``hash(host)`` is salted by PYTHONHASHSEED and therefore differs
+    between runs (and between the threads and forked processes of a
+    cluster started with a different interpreter), which silently broke
+    run-to-run reproducibility of the live back-off jitter. A sha256
+    digest of ``seed:salt:host`` is stable everywhere.
+    """
+    digest = hashlib.sha256(f"{seed}:{salt}:{host}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 @dataclass
 class LiveConfig:
-    """Tunables of the live runtime (all times in real ms)."""
+    """Tunables of the live runtime (all times in real ms).
 
-    park_timeout: float = 60.0
-    ack_timeout: float = 500.0
-    grant_ttl: float = 5_000.0
-    max_claims: int = 10
-    claim_backoff: float = 15.0
+    The protocol fields double as the kernel machines' tunables object
+    (they are read per-use, so tests may mutate them) and default to the
+    kernel's :data:`~repro.core.machines.config.LIVE_TUNABLES`; ``tick``
+    is the driver's own mailbox poll interval.
+    """
+
+    park_timeout: float = LIVE_TUNABLES.park_timeout
+    ack_timeout: float = LIVE_TUNABLES.ack_timeout
+    grant_ttl: float = LIVE_TUNABLES.grant_ttl
+    max_claims: int = LIVE_TUNABLES.max_claims
+    claim_backoff: float = LIVE_TUNABLES.claim_backoff
     tick: float = 10.0
-    enable_bulletin: bool = True
+    enable_bulletin: bool = LIVE_TUNABLES.enable_bulletin
 
 
 @dataclass
 class _Claim:
+    """A claim round in flight at this host (driver-side bookkeeping)."""
+
+    machine: AgentMachine
     state: LiveAgentState
-    epoch: int
-    deadline: float
-    acks: Dict[str, Dict[str, int]] = field(default_factory=dict)
-    nacks: Set[str] = field(default_factory=set)
+    deadline: Optional[float] = None
+    timer_kind: str = "ack"
+
+
+class _StoreView:
+    """Dict-flavoured facade over the kernel's :class:`VersionedStore`.
+
+    Keeps the live runtime's historical ``store[key] == (value, version)``
+    surface (used by tests and the final dumps) while the machine owns
+    the real versioned state.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+
+    def __setitem__(self, key: str, pair: Tuple[object, int]) -> None:
+        value, version = pair
+        self._store.apply(key, value, version, 0.0)
+
+    def __getitem__(self, key: str) -> Tuple[object, int]:
+        entry = self._store.read(key)
+        if entry is None:
+            raise KeyError(key)
+        return (entry.value, entry.version)
+
+    def __contains__(self, key: str) -> bool:
+        return self._store.read(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._store.keys())
+
+    def items(self):
+        for key in self._store.keys():
+            entry = self._store.read(key)
+            yield key, (entry.value, entry.version)
+
+    def keys(self):
+        return self._store.keys()
+
+
+class _LockingListView:
+    """``[(agent_id, batch_id), ...]`` facade over the kernel's LL."""
+
+    def __init__(self, locking_list) -> None:
+        self._ll = locking_list
+
+    def __iter__(self):
+        return iter(
+            [(e.agent_id, e.request_id) for e in self._ll.entries()]
+        )
+
+    def __len__(self) -> int:
+        return len(self._ll)
+
+    def append(self, pair: Tuple[AgentId, int]) -> None:
+        agent_id, batch_id = pair
+        entries = self._ll.entries()
+        at = entries[-1].enqueued_at if entries else 0.0
+        self._ll.append(
+            LockEntry(agent_id=agent_id, request_id=batch_id, enqueued_at=at)
+        )
 
 
 class HostRuntime:
@@ -62,6 +172,7 @@ class HostRuntime:
         peers: List[str],
         transport: LiveTransport,
         config: Optional[LiveConfig] = None,
+        seed: int = 0,
     ) -> None:
         self.host = host
         self.peers = sorted(peers)
@@ -69,32 +180,57 @@ class HostRuntime:
         self.majority = self.n // 2 + 1
         self.transport = transport
         self.config = config or LiveConfig()
+        self.seed = seed
 
-        # Replica state (single-owner: only this runtime touches it).
-        self.store: Dict[str, Tuple[object, int]] = {}
-        self.history: List[Tuple[int, str, int]] = []
-        self.locking_list: List[Tuple[AgentId, int]] = []
-        self.updated: Set[AgentId] = set()
-        self.bulletin: Dict[str, SharedView] = {}
-        self.grant_holder: Optional[AgentId] = None
-        self.grant_epoch: int = 0
-        self.grant_expires: float = float("-inf")
+        #: the replica-side protocol kernel (single-owner: only this
+        #: runtime's thread feeds it).
+        self.machine = ReplicaMachine(host, self.peers, self.config)
+        self.store = _StoreView(self.machine.store)
+        self.locking_list = _LockingListView(self.machine.locking_list)
 
         self.parked: Dict[AgentId, Tuple[LiveAgentState, float]] = {}
         self.claims: Dict[int, _Claim] = {}
         self._agent_seq = 0
-        self._rng = random.Random(hash(host) & 0xFFFFFFFF)
+        self._rng = random.Random(stable_seed(host, seed))
         self._stopping = False
         self._last_activity = float("-inf")
         #: quiet ms after STOP before the final dump, so in-flight
         #: COMMITs (still sitting in delivery timers) are not lost.
         self.stop_grace = 150.0
 
+    # -- machine state, exposed for tests/audits --------------------------
+
+    @property
+    def history(self) -> List[Tuple[int, str, int]]:
+        return self.machine.history.identities()
+
+    @property
+    def updated(self):
+        return self.machine.updated_list
+
+    @property
+    def bulletin(self):
+        return self.machine.bulletin
+
+    @property
+    def grant_holder(self) -> Optional[AgentId]:
+        return self.machine.grant_holder
+
+    @property
+    def grant_epoch(self) -> int:
+        return self.machine.grant_epoch
+
+    @property
+    def grant_expires(self) -> float:
+        return self.machine.grant_expires_at
+
     # ------------------------------------------------------------------
 
     def run(self) -> None:
         """The host's main loop; exits after STOP once claims drain."""
-        self.transport.reseed((hash(self.host) ^ 0xA5A5) & 0xFFFFFFFF)
+        self.transport.reseed(
+            stable_seed(self.host, self.seed, salt="transport") & 0xFFFFFFFF
+        )
         mailbox = self.transport.mailbox(self.host)
         while True:
             try:
@@ -136,16 +272,10 @@ class HostRuntime:
             state = unship(msg.payload)
             state.hops += 1
             self._drive(state, now)
-        elif kind == "UPDATE":
-            self._on_update(msg, now)
-        elif kind == "ACK":
-            self._on_ack(msg, now)
-        elif kind == "NACK":
-            self._on_nack(msg, now)
-        elif kind == "COMMIT":
-            self._on_commit(msg, now)
-        elif kind in ("RELEASE", "ABORT"):
-            self._on_release(msg, abort=(kind == "ABORT"))
+        elif kind in ("ACK", "NACK"):
+            self._on_reply(kind, msg, now)
+        elif kind in ("UPDATE", "COMMIT", "ABORT", "RELEASE"):
+            self._on_replica_msg(msg, now)
         elif kind == "STOP":
             self._stopping = True
 
@@ -158,91 +288,113 @@ class HostRuntime:
             agent_id=AgentId(self.host, now, self._agent_seq),
             home=self.host,
             batch_id=p["request_id"],
-            requests=[(p["request_id"], p["key"], p["value"], p["created_at"])],
-            dispatched_at=now,
+            requests=[
+                (p["request_id"], p["key"], p["value"], p["created_at"])
+            ],
             tour_remaining=[h for h in self.peers if h != self.host],
+            location=self.host,
+            dispatched_at=now,
         )
         self._drive(state, now)
 
-    # -- agent driving (Algorithm 1, state-machine form) ---------------------
-
-    def _visit(self, state: LiveAgentState, now: float) -> None:
-        agent_id = state.agent_id
-        if agent_id not in self.updated and all(
-            entry != agent_id for entry, _b in self.locking_list
-        ):
-            self.locking_list.append((agent_id, state.batch_id))
-        view = SharedView(
-            host=self.host,
-            as_of=now,
-            view=tuple(entry for entry, _b in self.locking_list),
-            updated=frozenset(self.updated),
-            versions={k: v for k, (_val, v) in self.store.items()},
-        )
-        state.table.update(view)
-        if self.config.enable_bulletin:
-            state.table.merge_bulletin(dict(self.bulletin))
-            for host, shared in state.table.shareable_views(self.host).items():
-                if shared.is_newer_than(self.bulletin.get(host)):
-                    self.bulletin[host] = shared
-        state.visited.add(self.host)
-        state.visit_events += 1
-        if self.host in state.tour_remaining:
-            state.tour_remaining.remove(self.host)
-
-    def _holds_lock(self, state: LiveAgentState) -> bool:
-        decision = decide(
-            state.table, self.n, state.agent_id,
-            unavailable=frozenset(state.unavailable),
-        )
-        if decision.outcome == WIN:
-            return True
-        return (
-            decision.outcome == STALEMATE
-            and decision.winner == state.agent_id
-        )
+    # -- agent driving (the kernel's effects, interpreted live) --------------
 
     def _drive(self, state: LiveAgentState, now: float) -> None:
-        """Visit here, then claim, migrate onward, or park."""
-        self._visit(state, now)
-        if self._holds_lock(state):
-            self._start_claim(state, now)
-        elif not self._tour_onward(state):
-            self._park(state, now)
+        """An agent is at this host: visit, then claim/migrate/park."""
+        machine = AgentMachine(state, self.peers, self.config)
+        self._run_agent(machine, [Visit()], now)
 
     def _wake(self, state: LiveAgentState, now: float) -> None:
-        """A parked agent re-evaluates after a release or timeout."""
-        self._visit(state, now)
-        if self._holds_lock(state):
-            self._start_claim(state, now)
-            return
-        # Restart the refresh tour over the other hosts ([D2]); replicas
-        # declared unavailable get another chance in the new round.
-        state.unavailable.clear()
-        state.tour_remaining = [h for h in self.peers if h != self.host]
-        if not self._tour_onward(state):
-            self._park(state, now)
+        """A parked or backing-off agent re-enters the acquisition loop."""
+        machine = AgentMachine(state, self.peers, self.config)
+        if state.phase == BACKOFF:
+            effects = machine.on(TimerFired("backoff", now))
+        else:
+            # Mark parked so the machine applies its wake semantics
+            # ([D2] refresh tour) on the next arrival.
+            state.phase = PARKED
+            effects = [Visit()]
+        self._run_agent(machine, effects, now)
 
-    def _tour_onward(self, state: LiveAgentState) -> bool:
-        """Ship the agent to the next reachable unvisited host.
+    def _start_claim(self, state: LiveAgentState, now: float) -> None:
+        """Open a claim round directly (the lock is already held)."""
+        machine = AgentMachine(state, self.peers, self.config)
+        state.location = self.host
+        # ALT boundary: the last (successful) acquisition wins, matching
+        # the DES backend's semantics for re-claims.
+        state.lock_acquired_at = now
+        state.visits_to_lock = len(state.visited)
+        self._run_agent(machine, machine.start_claim(now), now)
 
-        Unreachable destinations (blocked links — the live equivalent of
-        the paper's failed-migration detection) are declared unavailable
-        for this round. Returns False when no destination remains, in
-        which case the agent may hold the lock now that unavailability
-        is known, and otherwise should park.
-        """
-        while state.tour_remaining:
-            dst = state.tour_remaining[0]
-            blob = ship(state)
-            if self._send_agent(dst, blob):
-                return True
-            state.tour_remaining.remove(dst)
-            state.unavailable.add(dst)
-        if self._holds_lock(state):
-            self._start_claim(state, now_ms())
-            return True
-        return False
+    def _run_agent(self, machine: AgentMachine, effects, now: float) -> None:
+        """Flat interpretation loop over one agent machine's effects."""
+        state: LiveAgentState = machine.state
+        pending = deque(effects)
+        while pending:
+            effect = pending.popleft()
+            if isinstance(effect, Visit):
+                state.location = self.host
+                data, reffects = self.machine.begin_visit(
+                    state.agent_id, state.batch_id, now
+                )
+                self._perform_replica(reffects, now)
+                pending.extend(
+                    machine.on(
+                        Arrived(
+                            host=self.host, now=now, view=data.view,
+                            bulletin=data.bulletin, rank=data.rank,
+                            ll_len=data.ll_len,
+                        )
+                    )
+                )
+            elif isinstance(effect, PostBulletin):
+                self.machine.post_bulletin(effect.views)
+            elif isinstance(effect, Migrate):
+                # The live itinerary is static name order (the kernel
+                # emits the candidates sorted).
+                dst = effect.candidates[0]
+                blob = ship(state)
+                if not self._send_agent(dst, blob):
+                    # Unreachable (blocked link) — the live equivalent of
+                    # the paper's failed-migration detection.
+                    pending.extend(machine.on(ReplicaDown(dst, now)))
+            elif isinstance(effect, Park):
+                self.parked[state.agent_id] = (state, now + effect.timeout)
+            elif isinstance(effect, Backoff):
+                # Randomized backoff, then rejoin via the park machinery.
+                delay = (
+                    self._rng.expovariate(1.0 / effect.mean)
+                    if effect.mean > 0 else 0.0
+                )
+                self.parked[state.agent_id] = (state, now + delay)
+            elif isinstance(effect, LockWon):
+                state.lock_acquired_at = now
+                state.visits_to_lock = effect.visits
+            elif isinstance(effect, ClaimStarted):
+                self.claims[state.batch_id] = _Claim(
+                    machine=machine, state=state
+                )
+            elif isinstance(effect, SetTimer):
+                claim = self.claims.get(state.batch_id)
+                if claim is not None:
+                    claim.deadline = now + effect.delay
+                    claim.timer_kind = effect.kind
+            elif isinstance(effect, CancelTimer):
+                claim = self.claims.get(state.batch_id)
+                if claim is not None and claim.timer_kind == effect.kind:
+                    claim.deadline = None
+            elif isinstance(effect, ClaimResolved):
+                self.claims.pop(state.batch_id, None)
+            elif isinstance(effect, Broadcast):
+                self._broadcast(
+                    effect.kind, self._wire(effect.kind, effect.payload)
+                )
+            elif isinstance(effect, Send):
+                self._send(effect.dst, effect.kind, effect.payload)
+            elif isinstance(effect, Dispose):
+                self._emit_records(state, effect, now)
+            # Note effects carry trace detail; the live runtime keeps no
+            # protocol trace.
 
     def _send_agent(self, dst: str, blob: bytes) -> bool:
         delay = self.transport.send(
@@ -253,204 +405,126 @@ class HostRuntime:
         )
         return delay >= 0
 
-    def _park(self, state: LiveAgentState, now: float) -> None:
-        self.parked[state.agent_id] = (
-            state, now + self.config.park_timeout
+    # -- wire format (unchanged from the pre-kernel runtime) ----------------
+
+    @staticmethod
+    def _wire(kind: str, payload: UpdatePayload) -> dict:
+        """Kernel payload -> the live wire's plain-dict format."""
+        if kind == "UPDATE":
+            return {
+                "batch_id": payload.batch_id,
+                "epoch": payload.epoch,
+                "agent_id": payload.agent_id,
+                "reply_to": payload.reply_to,
+            }
+        if kind == "COMMIT":
+            return {
+                "batch_id": payload.batch_id,
+                "agent_id": payload.agent_id,
+                "writes": tuple(
+                    (w.request_id, w.key, w.value, w.version)
+                    for w in payload.writes
+                ),
+                "origin": payload.origin,
+            }
+        if kind == "RELEASE":
+            return {
+                "batch_id": payload.batch_id,
+                "agent_id": payload.agent_id,
+                "epoch": payload.epoch,
+            }
+        return {  # ABORT
+            "batch_id": payload.batch_id,
+            "agent_id": payload.agent_id,
+        }
+
+    @staticmethod
+    def _payload_from_wire(p: dict) -> UpdatePayload:
+        """Live wire dict -> kernel payload.
+
+        A RELEASE without an ``epoch`` key maps to ``epoch=None``, which
+        the kernel treats as an unconditional (unguarded) release.
+        """
+        return UpdatePayload(
+            batch_id=p.get("batch_id"),
+            agent_id=p.get("agent_id"),
+            origin=p.get("origin", ""),
+            writes=tuple(
+                WriteOp(
+                    request_id=w[0], key=w[1], value=w[2], version=w[3]
+                )
+                for w in p.get("writes", ())
+            ),
+            reply_to=p.get("reply_to", ""),
+            epoch=p.get("epoch"),
         )
 
-    # -- claim round ----------------------------------------------------------
+    # -- replica-side messages ------------------------------------------------
 
-    def _start_claim(self, state: LiveAgentState, now: float) -> None:
-        state.epoch += 1
-        # ALT boundary: the last (successful) acquisition wins, matching
-        # the DES backend's semantics for re-claims.
-        state.lock_acquired_at = now
-        state.visits_to_lock = len(state.visited)
-        self.claims[state.batch_id] = _Claim(
-            state=state, epoch=state.epoch,
-            deadline=now + self.config.ack_timeout,
+    def _on_replica_msg(self, msg: LiveMessage, now: float) -> None:
+        payload = self._payload_from_wire(msg.payload)
+        effects = self.machine.on_message(
+            msg.kind, payload, src=msg.src, now=now
         )
-        self._broadcast(
-            "UPDATE",
-            {
-                "batch_id": state.batch_id,
-                "epoch": state.epoch,
-                "agent_id": state.agent_id,
-                "reply_to": self.host,
-            },
-        )
+        self._perform_replica(effects, now)
 
-    def _on_update(self, msg: LiveMessage, now: float) -> None:
-        p = msg.payload
-        agent_id = p["agent_id"]
-        free = self.grant_holder is None or now > self.grant_expires
-        if agent_id == self.grant_holder or free:
-            if self.grant_holder == agent_id:
-                self.grant_epoch = max(self.grant_epoch, p["epoch"])
-            else:
-                self.grant_epoch = p["epoch"]
-            self.grant_holder = agent_id
-            self.grant_expires = now + self.config.grant_ttl
-            self._send(
-                p["reply_to"],
-                "ACK",
-                {
-                    "batch_id": p["batch_id"],
-                    "epoch": p["epoch"],
-                    "from": self.host,
-                    "versions": {
-                        k: v for k, (_val, v) in self.store.items()
-                    },
-                },
-            )
-        else:
-            self._send(
-                p["reply_to"],
-                "NACK",
-                {
-                    "batch_id": p["batch_id"],
-                    "epoch": p["epoch"],
-                    "from": self.host,
-                },
-            )
+    def _perform_replica(self, effects, now: float) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._send(effect.dst, effect.kind, effect.payload)
+            elif isinstance(effect, ReleaseNotify):
+                self._wake_parked(now)
+            # Granted / Nacked / CommitApplied / QueueChanged / Recovered
+            # are observability milestones; the live runtime has no hub.
 
-    def _claim_for(self, payload) -> Optional[_Claim]:
-        claim = self.claims.get(payload["batch_id"])
-        if claim is None or claim.epoch != payload["epoch"]:
-            return None
-        return claim
+    # -- claim replies --------------------------------------------------------
 
-    def _on_ack(self, msg: LiveMessage, now: float) -> None:
-        claim = self._claim_for(msg.payload)
+    def _on_reply(self, kind: str, msg: LiveMessage, now: float) -> None:
+        claim = self.claims.get(msg.payload["batch_id"])
         if claim is None:
             return
-        claim.acks[msg.payload["from"]] = msg.payload["versions"]
-        if len(claim.acks) >= self.majority:
-            self._complete_claim(claim, now)
-
-    def _on_nack(self, msg: LiveMessage, now: float) -> None:
-        claim = self._claim_for(msg.payload)
-        if claim is None:
-            return
-        claim.nacks.add(msg.payload["from"])
-        if self.n - len(claim.nacks) < self.majority:
-            self._fail_claim(claim, now)
-
-    def _complete_claim(self, claim: _Claim, now: float) -> None:
-        state = claim.state
-        del self.claims[state.batch_id]
-        # [D3] version ceiling: LT monotone max + ACKed version vectors.
-        writes = []
-        next_version: Dict[str, int] = {}
-        for request_id, key, value, _created in state.requests:
-            if key not in next_version:
-                ceiling = state.table.version_ceiling(key)
-                for versions in claim.acks.values():
-                    ceiling = max(ceiling, versions.get(key, 0))
-                next_version[key] = ceiling + 1
-            writes.append((request_id, key, value, next_version[key]))
-            next_version[key] += 1
-        self._broadcast(
-            "COMMIT",
-            {
-                "batch_id": state.batch_id,
-                "agent_id": state.agent_id,
-                "writes": tuple(writes),
-                "origin": state.home,
-            },
+        effects = claim.machine.on(
+            MsgReceived(kind, msg.payload, now, src=msg.src)
         )
-        for request_id, key, _value, _version in writes:
-            self.transport.results.put(
-                {
-                    "type": "record",
-                    "request_id": request_id,
-                    "status": "committed",
-                    "home": state.home,
-                    "dispatched_at": state.dispatched_at,
-                    "lock_acquired_at": state.lock_acquired_at,
-                    "completed_at": now,
-                    "visits_to_lock": state.visits_to_lock,
-                    "hops": state.hops,
-                    "agent_id": str(state.agent_id),
-                }
-            )
+        self._run_agent(claim.machine, effects, now)
 
-    def _fail_claim(self, claim: _Claim, now: float) -> None:
-        state = claim.state
-        del self.claims[state.batch_id]
-        state.failed_claims += 1
-        if state.failed_claims >= self.config.max_claims:
-            self._broadcast(
-                "ABORT",
-                {"batch_id": state.batch_id, "agent_id": state.agent_id},
-            )
-            for request_id, _key, _value, _created in state.requests:
+    def _emit_records(
+        self, state: LiveAgentState, dispose: Dispose, now: float
+    ) -> None:
+        if dispose.status == "committed":
+            for write in dispose.writes:
                 self.transport.results.put(
                     {
                         "type": "record",
-                        "request_id": request_id,
-                        "status": "failed",
+                        "request_id": write.request_id,
+                        "status": "committed",
                         "home": state.home,
                         "dispatched_at": state.dispatched_at,
-                        "lock_acquired_at": None,
+                        "lock_acquired_at": state.lock_acquired_at,
                         "completed_at": now,
-                        "visits_to_lock": None,
+                        "visits_to_lock": state.visits_to_lock,
                         "hops": state.hops,
                         "agent_id": str(state.agent_id),
                     }
                 )
             return
-        self._broadcast(
-            "RELEASE",
-            {
-                "batch_id": state.batch_id,
-                "agent_id": state.agent_id,
-                "epoch": state.epoch,
-            },
-        )
-        # Randomized backoff, then rejoin via the park machinery.
-        backoff = self._rng.expovariate(1.0 / self.config.claim_backoff)
-        self.parked[state.agent_id] = (state, now + backoff)
+        for request in state.requests:
+            self.transport.results.put(
+                {
+                    "type": "record",
+                    "request_id": request[0],
+                    "status": "failed",
+                    "home": state.home,
+                    "dispatched_at": state.dispatched_at,
+                    "lock_acquired_at": None,
+                    "completed_at": now,
+                    "visits_to_lock": None,
+                    "hops": state.hops,
+                    "agent_id": str(state.agent_id),
+                }
+            )
 
-    # -- replica-side commit path -----------------------------------------------
-
-    def _on_commit(self, msg: LiveMessage, now: float) -> None:
-        p = msg.payload
-        for request_id, key, value, version in p["writes"]:
-            current = self.store.get(key)
-            if current is None or version > current[1]:
-                self.store[key] = (value, version)
-                self.history.append((request_id, key, version))
-        self._forget_agent(p["agent_id"])
-        self._wake_parked(now)
-
-    def _on_release(self, msg: LiveMessage, abort: bool = False) -> None:
-        p = msg.payload
-        if self.grant_holder == p["agent_id"]:
-            # Epoch guard: a stale RELEASE (overtaken by the re-claim's
-            # UPDATE) must not clear a newer grant. ABORT is terminal.
-            release_epoch = p.get("epoch")
-            if abort or release_epoch is None or (
-                self.grant_epoch <= release_epoch
-            ):
-                self.grant_holder = None
-                self.grant_epoch = 0
-                self.grant_expires = float("-inf")
-        if abort:
-            self._forget_agent(p["agent_id"])
-            self._wake_parked(now_ms())
-
-    def _forget_agent(self, agent_id: AgentId) -> None:
-        if self.grant_holder == agent_id:
-            self.grant_holder = None
-            self.grant_epoch = 0
-            self.grant_expires = float("-inf")
-        self.locking_list = [
-            (entry, batch)
-            for entry, batch in self.locking_list
-            if entry != agent_id
-        ]
-        self.updated.add(agent_id)
+    # -- parked agents ([D2]) --------------------------------------------------
 
     def _wake_parked(self, now: float) -> None:
         woken, self.parked = self.parked, {}
@@ -462,8 +536,17 @@ class HostRuntime:
     def _check_timers(self, now: float) -> None:
         for batch_id in list(self.claims):
             claim = self.claims.get(batch_id)
-            if claim is not None and now > claim.deadline:
-                self._fail_claim(claim, now)
+            if (
+                claim is not None
+                and claim.deadline is not None
+                and now > claim.deadline
+            ):
+                claim.deadline = None
+                self._run_agent(
+                    claim.machine,
+                    claim.machine.on(TimerFired(claim.timer_kind, now)),
+                    now,
+                )
         due = [
             agent_id
             for agent_id, (_state, deadline) in self.parked.items()

@@ -3,38 +3,35 @@
 In the live runtime an agent migration is a real pickle round-trip —
 exactly what Aglets did with Java serialisation. The carried state is
 the paper's suitcase: the Request List, the Locking Table (a genuine
-:class:`repro.core.locking_table.LockingTable`), the Un-visited Servers
-List and the identifiers.
+:class:`repro.core.machines.table.LockingTable`), the Un-visited
+Servers List and the identifiers.
+
+:class:`LiveAgentState` extends the kernel's
+:class:`~repro.core.machines.agent.AgentCoreState` with the live-only
+measurement fields (dispatch/lock timestamps, hop count); the protocol
+fields are exactly the ones every :class:`AgentMachine` operates over,
+so a host rebuilds a machine around the unshipped state at every hop.
 """
 
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Optional
 
-from repro.agents.identity import AgentId
-from repro.core.locking_table import LockingTable
+from repro.core.machines.agent import AgentCoreState
 
 __all__ = ["LiveAgentState", "ship", "unship"]
 
 
 @dataclass
-class LiveAgentState:
-    """The migrating state of one live update agent."""
+class LiveAgentState(AgentCoreState):
+    """The migrating state of one live update agent.
 
-    agent_id: AgentId
-    home: str
-    batch_id: int
-    #: (request_id, key, value, created_at_ms)
-    requests: List[Tuple[int, str, object, float]]
-    table: LockingTable = field(default_factory=LockingTable)
-    visited: Set[str] = field(default_factory=set)
-    tour_remaining: List[str] = field(default_factory=list)
-    unavailable: Set[str] = field(default_factory=set)
-    visit_events: int = 0
-    epoch: int = 0
-    failed_claims: int = 0
+    ``requests`` entries are ``(request_id, key, value, created_at_ms)``
+    — the kernel reads the first three elements and ignores the rest.
+    """
+
     dispatched_at: Optional[float] = None
     lock_acquired_at: Optional[float] = None
     visits_to_lock: Optional[int] = None

@@ -1,0 +1,257 @@
+"""Script-replay tests of protocol edge cases.
+
+These interleavings are hard (or impossible) to reach deterministically
+through either execution backend; because the machines are sans-IO, each
+one can be written down as a literal input script and asserted on
+exactly — the tentpole payoff of the kernel refactor.
+
+Covered here:
+
+* a server-side grant expiring (TTL) in the middle of a claim round;
+* a COMMIT overtaking its own UPDATE on a reordered channel, and the
+  agent-side mirror (an ACK straggling in after the round resolved);
+* a park-timeout wakeup racing the lock-release notification;
+* the paper's M-way identifier tie-break guard ``S + (N − M·S) < ⌈(N+1)/2⌉``.
+"""
+
+import pytest
+
+from repro.agents.identity import AgentId
+from repro.core.machines import (
+    AgentCoreState,
+    AgentMachine,
+    Broadcast,
+    CommitApplied,
+    Dispose,
+    Granted,
+    KernelHarness,
+    LockingTable,
+    MsgReceived,
+    Nacked,
+    ProtocolTunables,
+    ReplicaMachine,
+    SharedView,
+    UpdatePayload,
+    WriteOp,
+    decide,
+)
+from repro.core.machines.priority import STALEMATE
+
+HOSTS = ["s1", "s2", "s3"]
+
+
+def update_msg(agent_id, batch_id, epoch, now, writes=(), reply_to="client"):
+    payload = UpdatePayload(
+        batch_id=batch_id,
+        agent_id=agent_id,
+        origin=agent_id.host,
+        writes=tuple(writes),
+        reply_to=reply_to,
+        epoch=epoch,
+    )
+    return MsgReceived("UPDATE", payload, now)
+
+
+def commit_msg(agent_id, batch_id, now, writes):
+    payload = UpdatePayload(
+        batch_id=batch_id,
+        agent_id=agent_id,
+        origin=agent_id.host,
+        writes=tuple(writes),
+        epoch=0,
+    )
+    return MsgReceived("COMMIT", payload, now)
+
+
+class TestGrantTTLExpiryDuringClaim:
+    """A claimer that stalls mid-claim must not wedge the server."""
+
+    def setup_method(self):
+        self.replica = ReplicaMachine(
+            "s1", HOSTS, ProtocolTunables(grant_ttl=50.0)
+        )
+        self.a = AgentId("s2", 1.0, 0)
+        self.b = AgentId("s3", 2.0, 0)
+
+    def test_expired_grant_is_reassigned(self):
+        effects = self.replica.on(update_msg(self.a, 1, 1, now=0.0))
+        assert isinstance(effects[0], Granted)
+
+        # Within the TTL the grant is exclusive: B is NACKed.
+        effects = self.replica.on(update_msg(self.b, 2, 1, now=10.0))
+        assert isinstance(effects[0], Nacked)
+        assert self.replica.grant_holder == self.a
+
+        # Past the TTL, A's (presumably dead) claim no longer blocks B.
+        effects = self.replica.on(update_msg(self.b, 2, 1, now=61.0))
+        assert isinstance(effects[0], Granted)
+        assert self.replica.grant_holder == self.b
+
+    def test_stale_release_cannot_evict_the_new_holder(self):
+        self.replica.on(update_msg(self.a, 1, 1, now=0.0))
+        self.replica.on(update_msg(self.b, 2, 1, now=61.0))
+        release = UpdatePayload(
+            batch_id=1, agent_id=self.a, origin=self.a.host, epoch=1
+        )
+        assert self.replica.on(MsgReceived("RELEASE", release, 62.0)) == []
+        assert self.replica.grant_holder == self.b
+
+    def test_late_commit_after_expiry_still_applies(self):
+        # A's round actually *succeeded* elsewhere: its COMMIT must apply
+        # even though this server re-granted, and must not evict B.
+        self.replica.on(update_msg(self.a, 1, 1, now=0.0))
+        self.replica.on(update_msg(self.b, 2, 1, now=61.0))
+        writes = (WriteOp(request_id=1, key="x", value="av", version=1),)
+        effects = self.replica.on(commit_msg(self.a, 1, 70.0, writes))
+        assert any(isinstance(e, CommitApplied) for e in effects)
+        assert self.replica.read("x").value == "av"
+        assert self.replica.grant_holder == self.b
+
+
+class TestCommitOvertakesAckRound:
+    """COMMIT arriving before its UPDATE (or after the round resolved)."""
+
+    def test_commit_without_prior_update_is_self_contained(self):
+        replica = ReplicaMachine("s1", HOSTS, ProtocolTunables())
+        a = AgentId("s2", 1.0, 0)
+        writes = (WriteOp(request_id=7, key="x", value="v", version=1),)
+        effects = replica.on(commit_msg(a, 7, 5.0, writes))
+        assert any(isinstance(e, CommitApplied) for e in effects)
+        assert replica.read("x").value == "v"
+        assert a in replica.updated_list
+
+        # The overtaken UPDATE straggles in afterwards. The server still
+        # answers; its ACK's version vector already includes the commit,
+        # which is exactly the [D3] version ceiling a later winner needs.
+        effects = replica.on(update_msg(a, 7, 1, now=6.0))
+        ack = effects[1]
+        assert ack.kind == "ACK"
+        assert ack.payload["versions"] == {"x": 1}
+
+    def test_duplicate_commit_is_idempotent(self):
+        replica = ReplicaMachine("s1", HOSTS, ProtocolTunables())
+        a = AgentId("s2", 1.0, 0)
+        writes = (WriteOp(request_id=7, key="x", value="v", version=1),)
+        replica.on(commit_msg(a, 7, 5.0, writes))
+        effects = replica.on(commit_msg(a, 7, 6.0, writes))
+        assert not any(isinstance(e, CommitApplied) for e in effects)
+        assert len(replica.history) == 1
+        assert replica.commits_applied == 1
+
+    def test_agent_ignores_acks_after_round_resolved(self):
+        hosts = ["s1", "s2", "s3", "s4", "s5"]
+        state = AgentCoreState(
+            agent_id=AgentId("s1", 1.0, 0),
+            home="s1",
+            batch_id=1,
+            requests=[(1, "x", "v")],
+            location="s1",
+        )
+        machine = AgentMachine(state, hosts, ProtocolTunables())
+        machine.start_claim(now=0.0)
+
+        def ack(host):
+            return {"batch_id": 1, "epoch": 1, "from": host, "versions": {}}
+
+        assert machine.on_message("ACK", ack("s1"), now=1.0) == []
+        assert machine.on_message("ACK", ack("s2"), now=1.0) == []
+        # Third ACK is the majority of five: the round resolves.
+        effects = machine.on_message("ACK", ack("s3"), now=1.0)
+        assert any(
+            isinstance(e, Broadcast) and e.kind == "COMMIT" for e in effects
+        )
+        assert any(isinstance(e, Dispose) for e in effects)
+        # Stragglers from the still-unfinished round change nothing.
+        assert machine.on_message("ACK", ack("s4"), now=2.0) == []
+        assert machine.on_message("NACK", ack("s5"), now=2.0) == []
+
+
+class TestParkWakeRacesRelease:
+    """A park timeout firing around the release notification must not
+    double-wake the agent or duplicate its visit/claim."""
+
+    def run_contended(self):
+        harness = KernelHarness(
+            HOSTS,
+            # Park timeout of exactly two hops: the loser's timer fires in
+            # the same window the winner's COMMIT triggers ReleaseNotify.
+            tunables=ProtocolTunables(park_timeout=2.0, claim_backoff=1.0),
+        )
+        harness.submit("s1", 1, "x", "first", at=0.0)
+        harness.submit("s2", 2, "x", "second", at=0.0)
+        harness.run(until=10_000)
+        return harness
+
+    def test_both_agents_commit_exactly_once(self):
+        harness = self.run_contended()
+        assert harness.statuses() == {1: "committed", 2: "committed"}
+        chains = harness.commit_chains()
+        assert [v for v, _ in chains["x"]] == [1, 2]
+        assert sorted(val for _, val in chains["x"]) == ["first", "second"]
+
+    def test_race_is_deterministic(self):
+        first, second = self.run_contended(), self.run_contended()
+        assert first.commit_chains() == second.commit_chains()
+        assert {
+            aid: run.notes for aid, run in first.agents.items()
+        } == {aid: run.notes for aid, run in second.agents.items()}
+
+
+class TestMWayTieBreak:
+    """Paper rule 2: M agents tied at S tops each with
+    ``S + (N − M·S) < ⌈(N+1)/2⌉`` can never reach a majority — resolve by
+    identifier immediately."""
+
+    def three_way_table(self):
+        agents = [AgentId(h, 0.0, 0) for h in HOSTS]
+        table = LockingTable()
+        for host, agent in zip(HOSTS, agents):
+            table.update(SharedView(
+                host=host, as_of=1.0, view=(agent,),
+                updated=frozenset(), versions={},
+            ))
+        return table, agents
+
+    def test_three_way_split_is_a_paper_stalemate(self):
+        # N=3, M=3, S=1: 1 + (3 − 3·1) = 1 < 2.
+        table, agents = self.three_way_table()
+        decision = decide(table, 3, agents[0])
+        assert decision.outcome == STALEMATE
+        assert decision.reason == "paper-tie-break"
+        assert decision.winner == min(agents)
+
+    def test_every_agent_agrees_on_the_designee(self):
+        table, agents = self.three_way_table()
+        winners = {decide(table, 3, a).winner for a in agents}
+        assert winners == {min(agents)}
+
+    def test_guard_boundary_falls_through_to_complete_info(self):
+        # N=5, M=2, S=2: 2 + (5 − 2·2) = 3 >= 3, so rule 2 must NOT fire;
+        # with all five views known and non-empty, rule 3 resolves it.
+        hosts = ["s1", "s2", "s3", "s4", "s5"]
+        a, b, c = (AgentId(h, 0.0, 0) for h in ("s1", "s2", "s3"))
+        tops = {"s1": a, "s2": a, "s3": b, "s4": b, "s5": c}
+        table = LockingTable()
+        for host, top in tops.items():
+            table.update(SharedView(
+                host=host, as_of=1.0, view=(top,),
+                updated=frozenset(), versions={},
+            ))
+        decision = decide(table, 5, a)
+        assert decision.outcome == STALEMATE
+        assert decision.reason == "complete-info"
+        assert decision.winner == min((a, b))
+
+    def test_harness_resolves_three_way_contention(self):
+        harness = KernelHarness(HOSTS)
+        ids = [
+            harness.submit(host, n, "x", f"v-{host}", at=0.0)
+            for n, host in enumerate(HOSTS, start=1)
+        ]
+        harness.run(until=100_000)
+        assert set(harness.statuses().values()) == {"committed"}
+        chains = harness.commit_chains()
+        assert [v for v, _ in chains["x"]] == [1, 2, 3]
+        # The identifier tie-break designates the smallest id: it claims
+        # first and therefore takes version 1.
+        assert chains["x"][0] == (1, f"v-{min(ids).host}")

@@ -216,4 +216,9 @@ class TestCommitPath:
             if m.kind == "RELEASE"
         ]
         assert len(releases) == len(HOSTS)
-        assert state.failed_claims == 1
+        # A pure timeout (no NACKs) does not count toward the abort
+        # budget — only contended (conflict) failures do, matching the
+        # DES backend now that both drive the same kernel. The agent
+        # backs off and will retry.
+        assert state.failed_claims == 0
+        assert state.agent_id in host.parked
