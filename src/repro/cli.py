@@ -12,12 +12,16 @@ Usage::
     python -m repro live             # live threaded backend demo
     python -m repro obs              # instrumented demo run + report
     python -m repro obs --self-check # observability pipeline self-test
+    python -m repro bench            # perf baselines -> BENCH_*.json
+    python -m repro bench --compare OLD NEW   # regression gate
     python -m repro all              # every experiment above
 
 Any experiment command accepts ``--metrics-out FILE.jsonl`` /
 ``--trace-out FILE.jsonl`` to run it under a process-wide
 observability hub and dump the telemetry as JSONL (metrics only /
 spans+events only, respectively), with an end-of-run summary line.
+``--trace-format chrome`` switches the trace dump to Chrome
+``trace_event`` JSON, loadable directly in Perfetto.
 
 Any experiment command also accepts ``--jobs/-j N`` to fan its runs out
 over N worker processes (bit-identical results, see
@@ -50,7 +54,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig2", "fig3", "fig4", "compare", "wan", "theorems",
             "ablations", "scale", "availability", "throughput", "live",
-            "obs", "all",
+            "obs", "bench", "all",
         ],
         help="which experiment to regenerate",
     )
@@ -102,8 +106,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under an observability hub; dump spans/events as JSONL",
     )
     parser.add_argument(
+        "--trace-format", choices=["jsonl", "chrome"], default="jsonl",
+        help=(
+            "format for --trace-out: jsonl records (default) or Chrome "
+            "trace_event JSON for Perfetto/chrome://tracing"
+        ),
+    )
+    parser.add_argument(
         "--self-check", action="store_true",
         help="with the obs command: run the observability self-test",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+        help=(
+            "with the bench command: diff two BENCH_*.json files (or "
+            "directories of them); exit 1 on a throughput regression"
+        ),
+    )
+    parser.add_argument(
+        "--bench-suite", choices=["kernel", "parallel", "live", "all"],
+        default="all",
+        help="with the bench command: which scenario suite(s) to run",
+    )
+    parser.add_argument(
+        "--out-dir", metavar="DIR", default=".",
+        help="with the bench command: where to write BENCH_*.json",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.10, metavar="FRAC",
+        help=(
+            "with bench --compare: relative throughput drop that counts "
+            "as a regression (default 0.10)"
+        ),
     )
     return parser
 
@@ -265,6 +299,7 @@ def _live(args) -> List[str]:
 def _obs(args, hub) -> List[str]:
     from repro.experiments.runner import RunConfig, run_once
     from repro.obs.export import format_report, summary_line
+    from repro.obs.journeys import format_journey_report, reconstruct_journeys
 
     result = run_once(RunConfig(
         protocol="marp",
@@ -275,6 +310,7 @@ def _obs(args, hub) -> List[str]:
     ))
     return [
         format_report(hub, title="obs: instrumented MARP run (3 replicas)"),
+        format_journey_report(reconstruct_journeys(hub)),
         f"run: committed={result.committed} failed={result.failed} "
         f"ALT={result.alt:.1f}ms ATT={result.att:.1f}ms "
         f"consistent={result.audit.consistent}",
@@ -282,11 +318,53 @@ def _obs(args, hub) -> List[str]:
     ]
 
 
-def _obs_self_check() -> List[str]:
+def _obs_self_check() -> int:
     from repro.obs import self_check
 
-    passed = self_check(verbose=True)
-    return [f"obs self-check: {len(passed)}/{len(passed)} checks passed"]
+    report = self_check(verbose=True)
+    for failure in report.failed:
+        print(f"FAILED: {failure}", file=sys.stderr)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _bench(args) -> int:
+    from repro.obs.bench import (
+        BenchError, SUITES, compare_paths, run_suite, write_bench,
+    )
+
+    try:
+        if args.compare is not None:
+            old_path, new_path = args.compare
+            result = compare_paths(old_path, new_path,
+                                   threshold=args.threshold)
+            for line in result.lines:
+                print(line)
+            for warning in result.warnings:
+                print(f"warning: {warning}")
+            if result.regressions:
+                for regression in result.regressions:
+                    print(f"REGRESSION: {regression}", file=sys.stderr)
+                return 1
+            print(f"bench compare: no regressions "
+                  f"(threshold -{args.threshold:.0%})")
+            return 0
+        suites = (
+            sorted(SUITES) if args.bench_suite == "all"
+            else [args.bench_suite]
+        )
+        for suite in suites:
+            doc = run_suite(suite, quick=args.quick)
+            path = write_bench(doc, out_dir=args.out_dir)
+            for scenario in doc["scenarios"]:
+                print(f"  {suite}/{scenario['name']:24s} "
+                      f"{scenario['rate']:12g} {scenario['unit']:10s} "
+                      f"(wall {scenario['wall_s'] * 1e3:.1f} ms)")
+            print(f"wrote {path}")
+        return 0
+    except BenchError as exc:
+        print(f"repro-marp: bench error: {exc}", file=sys.stderr)
+        return 2
 
 
 def _check_export_paths(args) -> None:
@@ -306,14 +384,19 @@ def _check_export_paths(args) -> None:
 
 
 def _write_obs_exports(args, hub) -> List[str]:
-    from repro.obs.export import summary_line, write_jsonl
+    from repro.obs.export import (
+        summary_line, write_chrome_trace, write_jsonl,
+    )
 
     lines = []
     if args.metrics_out:
         write_jsonl(hub, args.metrics_out, spans=False, events=False)
         lines.append(summary_line(hub, destination=args.metrics_out))
     if args.trace_out:
-        write_jsonl(hub, args.trace_out, metrics=False)
+        if args.trace_format == "chrome":
+            write_chrome_trace(hub, args.trace_out)
+        else:
+            write_jsonl(hub, args.trace_out, metrics=False)
         lines.append(summary_line(hub, destination=args.trace_out))
     return lines
 
@@ -349,8 +432,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     command = args.command
 
     if command == "obs" and args.self_check:
-        print("\n\n".join(_obs_self_check()))
-        return 0
+        return _obs_self_check()
+    if command == "bench":
+        return _bench(args)
 
     hub = None
     if command == "obs" or args.metrics_out or args.trace_out:

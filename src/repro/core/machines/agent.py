@@ -96,6 +96,14 @@ class AgentCoreState:
     park_count: int = 0
     location: str = ""
     phase: str = TOURING
+    # -- causal trace context (observational only) ---------------------
+    # The trace id names this agent's whole journey; the root span id
+    # points at the journey's root span in the recording tracer. Both
+    # ride in the suitcase so spans recorded at *different hosts* (live
+    # backend: a pickle hop per migration) still link into one journey.
+    # The kernel never reads either beyond copying them into payloads.
+    trace_id: Optional[str] = None
+    trace_root: Optional[int] = None
     #: "acks" | "fetch" | None — what reply the claim round is blocked on.
     awaiting: Optional[str] = None
     # -- claim-round transients (reset by start_claim) -----------------
@@ -301,6 +309,7 @@ class AgentMachine:
             writes=tuple(writes),
             reply_to=s.location,
             epoch=s.epoch,
+            trace_id=s.trace_id,
         )
 
     def on_message(

@@ -64,6 +64,11 @@ class UpdatePayload:
     same agent so stale acknowledgements from an abandoned claim cannot
     be counted toward a later one. UPDATE and RELEASE carry no writes;
     COMMIT carries the full Request List with the final versions.
+
+    ``trace_id`` is the sender's causal trace context (see
+    :mod:`repro.obs.journeys`): purely observational, never consulted by
+    protocol logic, but carried on the wire so replica-side telemetry
+    can attribute grant/commit work to the agent journey that caused it.
     """
 
     batch_id: int
@@ -72,6 +77,7 @@ class UpdatePayload:
     writes: Tuple[WriteOp, ...] = ()
     reply_to: str = ""
     epoch: int = 0
+    trace_id: Optional[str] = None
 
 
 class Transform:

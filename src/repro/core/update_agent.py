@@ -201,14 +201,19 @@ class UpdateAgent(MobileAgent):
             record.dispatched_at = now
             record.agent_id = str(self.agent_id)
         self._trace("dispatch", detail=f"{len(self.records)} request(s)")
+        # The causal trace context travels in the kernel state (and so in
+        # every payload the machine emits), whether or not a hub records.
+        self.core.trace_id = str(self.agent_id)
         if self._obs is not None:
             self._span_request = self._obs.start_span(
                 "request", start=now, agent=str(self.agent_id),
                 host=self.home, batch_id=self.batch_id, protocol="marp",
+                trace_id=self.core.trace_id, backend="des",
             )
+            self.core.trace_root = self._span_request.span_id
             self._span_lockwait = self._obs.start_span(
                 "lock-wait", parent=self._span_request, start=now,
-                agent=str(self.agent_id),
+                agent=str(self.agent_id), trace_id=self.core.trace_id,
             )
 
         self.core.tour_remaining = (
@@ -246,6 +251,7 @@ class UpdateAgent(MobileAgent):
                 self._span_claim = self._obs.start_span(
                     "claim", parent=self._span_request, start=env.now,
                     agent=str(self.agent_id), epoch=effect.epoch,
+                    trace_id=self.core.trace_id,
                 )
         elif isinstance(effect, ClaimResolved):
             if self._obs is not None and self._span_claim is not None:
@@ -306,6 +312,7 @@ class UpdateAgent(MobileAgent):
             hop_span = self._obs.start_span(
                 "migrate", parent=self._span_request, start=env.now,
                 agent=str(self.agent_id), src=self.location, dst=dst,
+                trace_id=self.core.trace_id,
             )
         try:
             yield from self.migrate(dst)
@@ -329,6 +336,7 @@ class UpdateAgent(MobileAgent):
             park_span = self._obs.start_span(
                 "park", parent=self._span_request, start=env.now,
                 agent=str(self.agent_id), host=self.location,
+                trace_id=self.core.trace_id,
             )
         server: ReplicaServer = self.platform.service("replica")
         release = server.wait_release()
@@ -345,7 +353,7 @@ class UpdateAgent(MobileAgent):
             # The lock has to be re-acquired: open a fresh wait span.
             self._span_lockwait = self._obs.start_span(
                 "lock-wait", parent=self._span_request, start=env.now,
-                agent=str(self.agent_id),
+                agent=str(self.agent_id), trace_id=self.core.trace_id,
             )
         if mean > 0:
             yield env.timeout(self.stream.exponential(mean))

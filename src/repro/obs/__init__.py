@@ -20,12 +20,21 @@ The time-series monitors from :mod:`repro.sim.monitor` are re-exported
 here so analysis code has a single import for all measurement types.
 """
 
+from repro.obs.bench import (
+    compare_docs,
+    compare_paths,
+    load_bench,
+    run_suite,
+    write_bench,
+)
 from repro.obs.export import (
+    chrome_trace,
     format_report,
     iter_jsonl_records,
     prometheus_text,
     read_jsonl,
     summary_line,
+    write_chrome_trace,
     write_jsonl,
 )
 from repro.obs.hub import (
@@ -43,7 +52,14 @@ from repro.obs.registry import (
     MetricsRegistry,
     Sample,
 )
-from repro.obs.selfcheck import self_check
+from repro.obs.journeys import (
+    CriticalPath,
+    Journey,
+    critical_path,
+    format_journey_report,
+    reconstruct_journeys,
+)
+from repro.obs.selfcheck import SelfCheckReport, self_check
 from repro.obs.tracing import ObsEvent, Span, SpanTracer
 from repro.sim.monitor import Monitor, StateMonitor
 
@@ -72,8 +88,23 @@ __all__ = [
     "prometheus_text",
     "format_report",
     "summary_line",
+    "chrome_trace",
+    "write_chrome_trace",
+    # journeys / critical path
+    "Journey",
+    "CriticalPath",
+    "reconstruct_journeys",
+    "critical_path",
+    "format_journey_report",
+    # perf trajectory
+    "run_suite",
+    "write_bench",
+    "load_bench",
+    "compare_docs",
+    "compare_paths",
     # diagnostics
     "self_check",
+    "SelfCheckReport",
     # time-series monitors (re-exported for one-stop imports)
     "Monitor",
     "StateMonitor",

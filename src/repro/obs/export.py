@@ -11,6 +11,11 @@ Three output formats:
 * **Human report** — aligned text tables via
   :mod:`repro.analysis.tables`, one for scalar metrics, one for
   histograms, one summarising span families.
+* **Chrome ``trace_event`` JSON** — the spans as complete (``"X"``)
+  events, one *process* lane per trace id (one agent journey each),
+  loadable directly in Perfetto / ``chrome://tracing``. Sim-clock
+  milliseconds map to the format's microsecond ``ts``/``dur`` fields,
+  so the timeline reads in the paper's own time unit.
 """
 
 from __future__ import annotations
@@ -30,6 +35,8 @@ __all__ = [
     "prometheus_text",
     "format_report",
     "summary_line",
+    "chrome_trace",
+    "write_chrome_trace",
 ]
 
 
@@ -62,6 +69,7 @@ def iter_jsonl_records(
                 "type": "span",
                 "id": span.span_id,
                 "parent": span.parent_id,
+                "trace": span.trace_id,
                 "name": span.name,
                 "start": span.start,
                 "end": span.end,
@@ -215,3 +223,97 @@ def _render_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return "-"
     return ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+# -- Chrome trace_event export (Perfetto / chrome://tracing) ---------------
+
+#: stable thread lanes so every journey renders in the same vertical
+#: order: the root on top, then the phase spans beneath it.
+_CHROME_LANES = {"request": 0, "lock-wait": 1, "migrate": 2, "park": 3,
+                 "claim": 4}
+_MS_TO_US = 1000.0
+
+
+def chrome_trace(source: Any) -> Dict[str, Any]:
+    """Render spans/events in Chrome ``trace_event`` JSON object format.
+
+    ``source`` is an :class:`ObservabilityHub` or an iterable of JSONL
+    record dicts (the output of :func:`read_jsonl` — so a dumped run
+    round-trips into Perfetto without re-running anything). Each trace
+    id becomes one *process* lane named after the journey; spans with
+    no trace id share an ``(untraced)`` lane. Metric records have no
+    timeline and are skipped. Open spans are emitted with ``dur`` 0 and
+    ``status: "open"`` in args so they remain visible.
+    """
+    if isinstance(source, ObservabilityHub):
+        records: List[Dict[str, Any]] = list(iter_jsonl_records(source))
+    else:
+        records = list(source)
+
+    events: List[Dict[str, Any]] = []
+    pids: Dict[Optional[str], int] = {}
+    named_lanes: Dict[int, Dict[str, int]] = {}
+    span_trace: Dict[int, Optional[str]] = {}
+
+    def pid_for(trace: Optional[str]) -> int:
+        if trace not in pids:
+            pids[trace] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[trace],
+                "tid": 0, "args": {"name": trace or "(untraced)"},
+            })
+        return pids[trace]
+
+    def lane_for(pid: int, name: str) -> int:
+        lane = _CHROME_LANES.get(name)
+        if lane is None:
+            lanes = named_lanes.setdefault(pid, {})
+            lane = lanes.setdefault(name, len(_CHROME_LANES) + len(lanes))
+        return lane
+
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        trace = record.get("trace")
+        span_trace[record["id"]] = trace
+        pid = pid_for(trace)
+        start = record["start"]
+        end = record.get("end")
+        args = dict(record.get("attrs") or {})
+        args.update(id=record["id"], parent=record.get("parent"),
+                    status=record.get("status"))
+        events.append({
+            "ph": "X",
+            "name": record["name"],
+            "cat": "span",
+            "pid": pid,
+            "tid": lane_for(pid, record["name"]),
+            "ts": start * _MS_TO_US,
+            "dur": ((end - start) if end is not None else 0.0) * _MS_TO_US,
+            "args": args,
+        })
+    for record in records:
+        if record.get("type") != "event":
+            continue
+        trace = span_trace.get(record.get("span"))
+        pid = pid_for(trace)
+        events.append({
+            "ph": "i",
+            "s": "p",
+            "name": record["name"],
+            "cat": "event",
+            "pid": pid,
+            "tid": 0,
+            "ts": record["time"] * _MS_TO_US,
+            "args": dict(record.get("attrs") or {}),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(source: Any, path: str) -> int:
+    """Write the Chrome trace JSON; returns the traceEvents count."""
+    document = chrome_trace(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+        handle.write("\n")
+    return len(document["traceEvents"])

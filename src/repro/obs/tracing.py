@@ -14,10 +14,19 @@ Two usage styles coexist:
   ``span.finish()`` — explicit parents, for simulation processes whose
   generators interleave (many agents in flight at once would corrupt a
   stack, so the agent code passes its own root span around).
+
+Spans additionally carry an optional **trace id**: a string naming the
+causal journey the span belongs to. Both backends stamp every span of
+one update agent's life with the same trace id (carried in the agent's
+migrating state), which is what lets
+:mod:`repro.obs.journeys` reassemble whole agent journeys — including
+live journeys whose spans were recorded by *different host threads* —
+without relying on parent links alone.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Dict, List, Optional, Union
 
 __all__ = ["Span", "ObsEvent", "SpanTracer"]
@@ -30,12 +39,13 @@ class Span:
 
     __slots__ = (
         "tracer", "span_id", "parent_id", "name", "start", "end",
-        "attrs", "status",
+        "attrs", "status", "trace_id",
     )
 
     def __init__(self, tracer: "SpanTracer", span_id: int,
                  parent_id: Optional[int], name: str, start: float,
-                 attrs: Dict[str, Any]) -> None:
+                 attrs: Dict[str, Any],
+                 trace_id: Optional[str] = None) -> None:
         self.tracer = tracer
         self.span_id = span_id
         self.parent_id = parent_id
@@ -44,6 +54,7 @@ class Span:
         self.end: Optional[float] = None
         self.attrs = attrs
         self.status = "open"
+        self.trace_id = trace_id
 
     @property
     def finished(self) -> bool:
@@ -129,6 +140,9 @@ class SpanTracer:
         self.events: List[ObsEvent] = []
         self._stack: List[Span] = []
         self._next_id = 1
+        # The live thread backend records spans from several host threads
+        # into one shared tracer; id allocation and appends must not race.
+        self._lock = threading.Lock()
 
     # -- clock ------------------------------------------------------------
 
@@ -145,6 +159,7 @@ class SpanTracer:
     def start_span(self, name: str,
                    parent: Optional[Union[Span, int]] = None,
                    start: Optional[float] = None,
+                   trace_id: Optional[str] = None,
                    **attrs: Any) -> Span:
         """Open a span; link it under ``parent`` or the active stack top."""
         if parent is None and self._stack:
@@ -153,22 +168,27 @@ class SpanTracer:
             parent_id = parent.span_id
         else:
             parent_id = parent
-        span = Span(
-            tracer=self,
-            span_id=self._next_id,
-            parent_id=parent_id,
-            name=name,
-            start=float(start) if start is not None else self.now(),
-            attrs=attrs,
-        )
-        self._next_id += 1
-        self.spans.append(span)
+        with self._lock:
+            span = Span(
+                tracer=self,
+                span_id=self._next_id,
+                parent_id=parent_id,
+                name=name,
+                start=float(start) if start is not None else self.now(),
+                attrs=attrs,
+                trace_id=trace_id,
+            )
+            self._next_id += 1
+            self.spans.append(span)
         return span
 
     def span(self, name: str, parent: Optional[Union[Span, int]] = None,
-             start: Optional[float] = None, **attrs: Any) -> Span:
+             start: Optional[float] = None,
+             trace_id: Optional[str] = None, **attrs: Any) -> Span:
         """Context-manager form: ``with tracer.span("x"): ...``."""
-        return self.start_span(name, parent=parent, start=start, **attrs)
+        return self.start_span(
+            name, parent=parent, start=start, trace_id=trace_id, **attrs
+        )
 
     def event(self, name: str, time: Optional[float] = None,
               span: Optional[Union[Span, int]] = None,
@@ -203,6 +223,23 @@ class SpanTracer:
         """Direct children of a span."""
         parent_id = span.span_id if isinstance(span, Span) else span
         return [s for s in self.spans if s.parent_id == parent_id]
+
+    def get(self, span_id: int) -> Optional[Span]:
+        """The span with the given id, or ``None``.
+
+        The live backend uses this to finish a journey's root span from
+        a *different* host thread than the one that opened it (the root
+        span id travels in the agent's migrating state).
+        """
+        with self._lock:
+            for span in reversed(self.spans):
+                if span.span_id == span_id:
+                    return span
+        return None
+
+    def spans_in_trace(self, trace_id: str) -> List[Span]:
+        """Every span stamped with the given trace id."""
+        return [s for s in self.spans if s.trace_id == trace_id]
 
     def open_spans(self) -> List[Span]:
         """Spans not yet finished (should be empty after a clean run)."""

@@ -46,6 +46,7 @@ class LiveCluster:
         config: Optional[LiveConfig] = None,
         latency_range: Tuple[float, float] = (1.0, 4.0),
         seed: int = 0,
+        obs=None,
     ) -> None:
         if n_replicas < 1:
             raise ReplicationError(f"need at least 1 replica: {n_replicas}")
@@ -56,9 +57,14 @@ class LiveCluster:
             self.hosts, backend=backend, latency_range=latency_range,
             seed=seed,
         )
+        # obs=None lets each HostRuntime resolve the process-wide hub;
+        # with the thread backend all hosts then share one tracer, which
+        # is what makes cross-hop journeys reassemble (process-backend
+        # hosts record into fork-copied hubs whose contents are lost).
         self.runtimes = {
             host: HostRuntime(
-                host, self.hosts, self.transport, self.config, seed=seed
+                host, self.hosts, self.transport, self.config, seed=seed,
+                obs=obs,
             )
             for host in self.hosts
         }

@@ -11,6 +11,18 @@ migration, claim deadlines, the parked-agent table and the back-off RNG
 and result records. This is the Aglets-prototype-shaped half of the
 reproduction; consistency comes from the shared kernel, not from
 re-implemented control flow.
+
+Observability: when a hub is attached (injected, or process-wide via
+:func:`repro.obs.enable` before the cluster starts), the runtime emits
+the same span vocabulary as the DES driver — ``request`` /
+``lock-wait`` / ``migrate`` / ``park`` / ``claim`` — with one twist:
+an agent's spans are recorded by *several host threads*, stitched into
+one journey by the trace context (``trace_id`` + root span id) carried
+in the migrating :class:`~repro.runtime.shipping.LiveAgentState`.
+Phase spans are recorded retroactively by whichever host completes the
+phase (the phase's start timestamp travels with the agent), so no host
+ever needs to mutate another thread's open span except the journey
+root, which the disposing host finishes by id.
 """
 
 from __future__ import annotations
@@ -102,6 +114,7 @@ class _Claim:
     state: LiveAgentState
     deadline: Optional[float] = None
     timer_kind: str = "ack"
+    started_at: float = 0.0
 
 
 class _StoreView:
@@ -173,6 +186,7 @@ class HostRuntime:
         transport: LiveTransport,
         config: Optional[LiveConfig] = None,
         seed: int = 0,
+        obs=None,
     ) -> None:
         self.host = host
         self.peers = sorted(peers)
@@ -181,6 +195,16 @@ class HostRuntime:
         self.transport = transport
         self.config = config or LiveConfig()
         self.seed = seed
+        # Same zero-cost discipline as the DES components: resolve the
+        # hub once, at construction; every record below is behind one
+        # `is not None` check. (With the thread backend all hosts share
+        # the process hub, so spans from different hosts land in one
+        # tracer and cross-hop parent links stay resolvable.)
+        if obs is None:
+            from repro.obs.hub import get_hub
+
+            obs = get_hub()
+        self._obs = obs
 
         #: the replica-side protocol kernel (single-owner: only this
         #: runtime's thread feeds it).
@@ -271,6 +295,15 @@ class HostRuntime:
         elif kind == "AGENT":
             state = unship(msg.payload)
             state.hops += 1
+            if state.migrate_sent_at is not None:
+                # The hop completes here: record it against the send
+                # time the origin host stamped into the suitcase.
+                self._hop_span(
+                    state, "migrate", state.migrate_sent_at, now,
+                    src=state.migrate_src or "", dst=self.host,
+                )
+                state.migrate_sent_at = None
+                state.migrate_src = None
             self._drive(state, now)
         elif kind in ("ACK", "NACK"):
             self._on_reply(kind, msg, now)
@@ -295,7 +328,38 @@ class HostRuntime:
             location=self.host,
             dispatched_at=now,
         )
+        state.trace_id = str(state.agent_id)
+        state.lock_wait_since = now
+        if self._obs is not None:
+            root = self._obs.start_span(
+                "request", start=now, trace_id=state.trace_id,
+                agent=str(state.agent_id), host=self.host,
+                batch_id=state.batch_id, protocol="marp", backend="live",
+            )
+            state.trace_root = root.span_id
         self._drive(state, now)
+
+    # -- span recording (all guarded on the resolved hub) -----------------
+
+    def _hop_span(self, state: LiveAgentState, name: str, start: float,
+                  end: float, status: str = "ok", **attrs) -> None:
+        """Record one completed phase span of an agent's journey."""
+        if self._obs is None:
+            return
+        self._obs.start_span(
+            name, start=start, parent=state.trace_root,
+            trace_id=state.trace_id, agent=str(state.agent_id), **attrs
+        ).finish(end=end, status=status)
+
+    def _finish_lock_wait(self, state: LiveAgentState, now: float,
+                          status: str = "ok", **attrs) -> None:
+        """Close the current lock-wait window (idempotent)."""
+        if state.lock_wait_since is not None:
+            self._hop_span(
+                state, "lock-wait", state.lock_wait_since, now,
+                status=status, **attrs,
+            )
+            state.lock_wait_since = None
 
     # -- agent driving (the kernel's effects, interpreted live) --------------
 
@@ -310,10 +374,15 @@ class HostRuntime:
         if state.phase == BACKOFF:
             effects = machine.on(TimerFired("backoff", now))
         else:
+            if state.parked_since is not None:
+                self._hop_span(
+                    state, "park", state.parked_since, now, host=self.host
+                )
             # Mark parked so the machine applies its wake semantics
             # ([D2] refresh tour) on the next arrival.
             state.phase = PARKED
             effects = [Visit()]
+        state.parked_since = None
         self._run_agent(machine, effects, now)
 
     def _start_claim(self, state: LiveAgentState, now: float) -> None:
@@ -324,6 +393,7 @@ class HostRuntime:
         # the DES backend's semantics for re-claims.
         state.lock_acquired_at = now
         state.visits_to_lock = len(state.visited)
+        self._finish_lock_wait(state, now)
         self._run_agent(machine, machine.start_claim(now), now)
 
     def _run_agent(self, machine: AgentMachine, effects, now: float) -> None:
@@ -353,15 +423,29 @@ class HostRuntime:
                 # The live itinerary is static name order (the kernel
                 # emits the candidates sorted).
                 dst = effect.candidates[0]
+                # Stamp the hop start *into* the suitcase: the receiving
+                # host closes the migrate span against this timestamp.
+                state.migrate_sent_at = now
+                state.migrate_src = self.host
                 blob = ship(state)
                 if not self._send_agent(dst, blob):
                     # Unreachable (blocked link) — the live equivalent of
                     # the paper's failed-migration detection.
+                    self._hop_span(
+                        state, "migrate", now, now,
+                        status="unavailable", src=self.host, dst=dst,
+                    )
+                    state.migrate_sent_at = None
+                    state.migrate_src = None
                     pending.extend(machine.on(ReplicaDown(dst, now)))
             elif isinstance(effect, Park):
+                state.parked_since = now
                 self.parked[state.agent_id] = (state, now + effect.timeout)
             elif isinstance(effect, Backoff):
                 # Randomized backoff, then rejoin via the park machinery.
+                # The lock must be re-acquired, so a fresh lock-wait
+                # window opens here (DES parity: see UpdateAgent._backoff).
+                state.lock_wait_since = now
                 delay = (
                     self._rng.expovariate(1.0 / effect.mean)
                     if effect.mean > 0 else 0.0
@@ -370,9 +454,13 @@ class HostRuntime:
             elif isinstance(effect, LockWon):
                 state.lock_acquired_at = now
                 state.visits_to_lock = effect.visits
+                self._finish_lock_wait(
+                    state, now,
+                    visits=effect.visit_events, reason=effect.reason,
+                )
             elif isinstance(effect, ClaimStarted):
                 self.claims[state.batch_id] = _Claim(
-                    machine=machine, state=state
+                    machine=machine, state=state, started_at=now
                 )
             elif isinstance(effect, SetTimer):
                 claim = self.claims.get(state.batch_id)
@@ -384,7 +472,12 @@ class HostRuntime:
                 if claim is not None and claim.timer_kind == effect.kind:
                     claim.deadline = None
             elif isinstance(effect, ClaimResolved):
-                self.claims.pop(state.batch_id, None)
+                claim = self.claims.pop(state.batch_id, None)
+                if claim is not None:
+                    self._hop_span(
+                        state, "claim", claim.started_at, now,
+                        status=effect.outcome, epoch=effect.epoch,
+                    )
             elif isinstance(effect, Broadcast):
                 self._broadcast(
                     effect.kind, self._wire(effect.kind, effect.payload)
@@ -393,6 +486,15 @@ class HostRuntime:
                 self._send(effect.dst, effect.kind, effect.payload)
             elif isinstance(effect, Dispose):
                 self._emit_records(state, effect, now)
+                if effect.status != "committed":
+                    # An aborted journey never won its lock: close the
+                    # open wait window with the failure status (DES
+                    # parity: see UpdateAgent._finish).
+                    self._finish_lock_wait(state, now, status=effect.status)
+                if self._obs is not None and state.trace_root is not None:
+                    root = self._obs.tracer.get(state.trace_root)
+                    if root is not None:
+                        root.finish(end=now, status=effect.status)
             # Note effects carry trace detail; the live runtime keeps no
             # protocol trace.
 
@@ -416,6 +518,7 @@ class HostRuntime:
                 "epoch": payload.epoch,
                 "agent_id": payload.agent_id,
                 "reply_to": payload.reply_to,
+                "trace_id": payload.trace_id,
             }
         if kind == "COMMIT":
             return {
@@ -426,6 +529,7 @@ class HostRuntime:
                     for w in payload.writes
                 ),
                 "origin": payload.origin,
+                "trace_id": payload.trace_id,
             }
         if kind == "RELEASE":
             return {
@@ -457,6 +561,7 @@ class HostRuntime:
             ),
             reply_to=p.get("reply_to", ""),
             epoch=p.get("epoch"),
+            trace_id=p.get("trace_id"),
         )
 
     # -- replica-side messages ------------------------------------------------

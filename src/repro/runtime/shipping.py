@@ -36,6 +36,17 @@ class LiveAgentState(AgentCoreState):
     lock_acquired_at: Optional[float] = None
     visits_to_lock: Optional[int] = None
     hops: int = 0
+    # -- cross-hop span bookkeeping (observational only) ----------------
+    # Spans in the live backend are recorded *retroactively* by whichever
+    # host completes a phase, so the phase start times must migrate with
+    # the agent: a hop's send time travels to the destination host, the
+    # current lock-wait window start travels to wherever the lock is
+    # finally won. (The trace id / root span id live on the kernel's
+    # AgentCoreState — they are protocol-payload-visible.)
+    lock_wait_since: Optional[float] = None
+    parked_since: Optional[float] = None
+    migrate_sent_at: Optional[float] = None
+    migrate_src: Optional[str] = None
 
 
 def ship(state: LiveAgentState) -> bytes:

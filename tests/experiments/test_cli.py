@@ -12,7 +12,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "fig2", "fig3", "fig4", "compare", "wan", "theorems",
-            "ablations", "live", "obs", "all",
+            "ablations", "live", "obs", "bench", "all",
         ):
             assert parser.parse_args([command]).command == command
 
@@ -29,7 +29,12 @@ class TestParser:
         assert args.format == "text"
         assert args.metrics_out is None
         assert args.trace_out is None
+        assert args.trace_format == "jsonl"
         assert not args.self_check
+        assert args.compare is None
+        assert args.bench_suite == "all"
+        assert args.out_dir == "."
+        assert args.threshold == 0.10
 
     def test_options(self):
         args = build_parser().parse_args(
@@ -90,7 +95,103 @@ class TestObsCommand:
     def test_obs_self_check(self, capsys):
         code = main(["obs", "--self-check"])
         assert code == 0
-        assert "checks passed" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "checks passed" in out
+        # passed/total, never the degenerate N/N-with-failures form
+        import re
+
+        match = re.search(r"(\d+)/(\d+) checks passed", out)
+        assert match is not None
+        assert match.group(1) == match.group(2)  # exit 0 => all passed
+
+    def test_obs_self_check_reports_failures(self, capsys, monkeypatch):
+        """A failing check yields passed<total and a nonzero exit."""
+        import repro.obs
+        from repro.obs.selfcheck import SelfCheckReport
+
+        def broken(verbose=False):
+            return SelfCheckReport(
+                passed=["a", "b"], failed=["c: boom"]
+            )
+
+        monkeypatch.setattr(repro.obs, "self_check", broken)
+        code = main(["obs", "--self-check"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "2/3 checks passed" in captured.out
+        assert "FAILED: c: boom" in captured.err
+
+    def test_obs_journey_table(self, capsys):
+        code = main(["obs", "--quick"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "agent journeys (critical path, ms)" in out
+        assert "dominant" in out
+
+    def test_trace_out_chrome_format(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        code = main(["obs", "--quick",
+                     "--trace-out", str(trace_path),
+                     "--trace-format", "chrome"])
+        assert code == 0
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["displayTimeUnit"] == "ms"
+        spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert any(e["name"] == "request" for e in spans)
+
+
+class TestBenchCommand:
+    def test_bench_kernel_quick_writes_schema_versioned_file(
+        self, tmp_path, capsys
+    ):
+        code = main(["bench", "--quick", "--bench-suite", "kernel",
+                     "--out-dir", str(tmp_path)])
+        assert code == 0
+        with open(tmp_path / "BENCH_kernel.json", encoding="utf-8") as f:
+            doc = json.load(f)
+        assert doc["schema"] == "repro-bench/v1"
+        assert doc["suite"] == "kernel"
+        assert doc["scenarios"]
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bench_compare_exit_codes(self, tmp_path, capsys):
+        from repro.obs.bench import SCHEMA_VERSION, write_bench
+
+        doc = {
+            "schema": SCHEMA_VERSION, "suite": "kernel", "quick": True,
+            "created_unix": 0.0,
+            "host": {"platform": "t", "python": "3", "cpus": 1},
+            "scenarios": [{
+                "name": "event_loop", "unit": "events/s", "repeats": 1,
+                "events": 100, "wall_s": 0.01, "rate": 10000.0,
+                "fingerprint": None, "params": {},
+            }],
+        }
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        write_bench(doc, out_dir=str(old_dir))
+        slow = json.loads(json.dumps(doc))
+        slow["scenarios"][0]["rate"] = 5000.0  # synthetic -50%
+        write_bench(slow, out_dir=str(new_dir))
+
+        assert main(["bench", "--compare",
+                     str(old_dir), str(old_dir)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--compare",
+                     str(old_dir), str(new_dir)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err
+        # a looser threshold lets the same drop through
+        assert main(["bench", "--compare", str(old_dir), str(new_dir),
+                     "--threshold", "0.6"]) == 0
+
+    def test_bench_compare_bad_input_exits_2(self, tmp_path, capsys):
+        assert main(["bench", "--compare",
+                     str(tmp_path), str(tmp_path)]) == 2
+        assert "bench error" in capsys.readouterr().err
 
     def test_obs_leaves_no_global_hub(self):
         from repro.obs import get_hub

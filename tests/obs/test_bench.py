@@ -1,0 +1,172 @@
+"""Perf-trajectory subsystem: schema, writing, and the regression gate."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    SCHEMA_VERSION,
+    SUITES,
+    BenchError,
+    bench_filename,
+    compare_docs,
+    compare_paths,
+    load_bench,
+    run_suite,
+    write_bench,
+)
+
+
+def _doc(suite="kernel", scenarios=None):
+    """A minimal valid bench document for compare tests."""
+    if scenarios is None:
+        scenarios = [
+            {"name": "event_loop", "unit": "events/s", "repeats": 3,
+             "events": 1000, "wall_s": 0.01, "rate": 100000.0,
+             "fingerprint": None, "params": {}},
+            {"name": "des_contended", "unit": "events/s", "repeats": 2,
+             "events": 700, "wall_s": 0.02, "rate": 35000.0,
+             "fingerprint": "abc123", "params": {}},
+        ]
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "quick": True,
+        "created_unix": 0.0,
+        "host": {"platform": "test", "python": "3", "cpus": 1},
+        "scenarios": scenarios,
+    }
+
+
+def _with_rates(doc, factor):
+    clone = json.loads(json.dumps(doc))
+    for scenario in clone["scenarios"]:
+        scenario["rate"] *= factor
+    return clone
+
+
+class TestRunSuite:
+    def test_kernel_suite_document_schema(self):
+        doc = run_suite("kernel", quick=True)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "kernel"
+        assert doc["quick"] is True
+        assert {"platform", "python", "cpus"} <= set(doc["host"])
+        names = [s["name"] for s in doc["scenarios"]]
+        assert names == [s.name for s in SUITES["kernel"]]
+        for scenario in doc["scenarios"]:
+            assert scenario["events"] > 0
+            assert scenario["wall_s"] > 0
+            assert scenario["rate"] > 0
+            assert scenario["unit"].endswith("/s")
+
+    def test_des_scenarios_carry_fingerprints(self):
+        doc = run_suite("kernel", quick=True)
+        by_name = {s["name"]: s for s in doc["scenarios"]}
+        assert by_name["des_contended"]["fingerprint"]
+        assert by_name["des_uncontended"]["fingerprint"]
+        # deterministic: a second run reproduces the fingerprints
+        again = run_suite("kernel", quick=True)
+        for name in ("des_contended", "des_uncontended"):
+            assert (by_name[name]["fingerprint"]
+                    == {s["name"]: s for s in again["scenarios"]}
+                    [name]["fingerprint"])
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(BenchError, match="unknown bench suite"):
+            run_suite("teleport")
+
+
+class TestWriteLoad:
+    def test_write_and_load_round_trip(self, tmp_path):
+        doc = _doc()
+        path = write_bench(doc, out_dir=str(tmp_path))
+        assert path.endswith(bench_filename("kernel"))
+        assert load_bench(path) == doc
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(json.dumps({"schema": "other/v9", "suite": "k"}))
+        with pytest.raises(BenchError, match="schema"):
+            load_bench(str(path))
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text("not json")
+        with pytest.raises(BenchError, match="cannot read"):
+            load_bench(str(path))
+
+
+class TestCompare:
+    def test_identical_docs_pass(self):
+        doc = _doc()
+        result = compare_docs(doc, doc)
+        assert result.ok
+        assert len(result.lines) == 2
+        assert not result.warnings
+
+    def test_regression_over_threshold_flagged(self):
+        old = _doc()
+        new = _with_rates(old, 0.8)  # -20% on every scenario
+        result = compare_docs(old, new, threshold=0.10)
+        assert not result.ok
+        assert len(result.regressions) == 2
+        assert "REGRESSION" in "\n".join(result.lines)
+
+    def test_drop_within_threshold_passes(self):
+        old = _doc()
+        new = _with_rates(old, 0.95)  # -5%
+        assert compare_docs(old, new, threshold=0.10).ok
+
+    def test_speedup_passes(self):
+        old = _doc()
+        assert compare_docs(old, _with_rates(old, 2.0)).ok
+
+    def test_fingerprint_drift_warns_without_failing(self):
+        old = _doc()
+        new = json.loads(json.dumps(old))
+        new["scenarios"][1]["fingerprint"] = "def456"
+        result = compare_docs(old, new)
+        assert result.ok
+        assert any("fingerprint drift" in w for w in result.warnings)
+
+    def test_scenario_set_drift_warns(self):
+        old = _doc()
+        new = _doc(scenarios=[old["scenarios"][0],
+                              dict(old["scenarios"][1], name="brand_new")])
+        result = compare_docs(old, new)
+        assert any("no baseline scenario" in w for w in result.warnings)
+        assert any("missing from new run" in w for w in result.warnings)
+
+
+class TestComparePaths:
+    def test_directory_to_directory(self, tmp_path):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        write_bench(_doc(), out_dir=str(old_dir))
+        write_bench(_with_rates(_doc(), 0.5), out_dir=str(new_dir))
+        result = compare_paths(str(old_dir), str(new_dir))
+        assert not result.ok
+        assert len(result.regressions) == 2
+
+    def test_file_to_file(self, tmp_path):
+        old = write_bench(_doc(), out_dir=str(tmp_path))
+        assert compare_paths(old, old).ok
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(BenchError, match="no BENCH_"):
+            compare_paths(str(tmp_path), str(tmp_path))
+
+    def test_missing_baseline_suite_warns(self, tmp_path):
+        old_dir = tmp_path / "old"
+        new_dir = tmp_path / "new"
+        old_dir.mkdir()
+        new_dir.mkdir()
+        write_bench(_doc(), out_dir=str(old_dir))
+        write_bench(_doc(suite="live"), out_dir=str(new_dir))
+        result = compare_paths(str(old_dir), str(new_dir))
+        assert result.ok  # nothing comparable regressed
+        assert any("no baseline file" in w for w in result.warnings)
+        assert any("missing from new run" in w for w in result.warnings)

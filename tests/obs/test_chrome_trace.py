@@ -1,0 +1,102 @@
+"""Chrome trace_event exporter: JSONL → trace_event round-trip."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace,
+    iter_jsonl_records,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.hub import ObservabilityHub
+
+
+def _instrumented_hub():
+    """A hub with two interleaved synthetic journeys + one event."""
+    hub = ObservabilityHub()
+    tracer = hub.tracer
+    for trace_id, offset in (("a#0", 0.0), ("b#0", 2.5)):
+        root = tracer.start_span(
+            "request", start=offset, trace_id=trace_id, agent=trace_id,
+        )
+        child = tracer.start_span(
+            "migrate", parent=root, start=offset + 1.0, trace_id=trace_id,
+            src="s1", dst="s2",
+        )
+        child.finish(end=offset + 2.0)
+        tracer.event("hop", time=offset + 1.5, span=child)
+        root.finish(end=offset + 5.0, status="committed")
+    return hub
+
+
+class TestChromeTrace:
+    def test_round_trip_preserves_spans_nesting_and_clock(self, tmp_path):
+        hub = _instrumented_hub()
+        jsonl_path = tmp_path / "obs.jsonl"
+        write_jsonl(hub, str(jsonl_path), metrics=False)
+        records = read_jsonl(str(jsonl_path))
+        document = chrome_trace(records)
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        span_records = [r for r in records if r["type"] == "span"]
+
+        # span count survives
+        assert len(xs) == len(span_records) == len(hub.tracer.spans)
+
+        by_id = {e["args"]["id"]: e for e in xs}
+        for record in span_records:
+            event = by_id[record["id"]]
+            # nesting survives (parent ids in args)
+            assert event["args"]["parent"] == record["parent"]
+            # sim-clock ms map to trace_event microseconds
+            assert event["ts"] == record["start"] * 1000.0
+            assert event["dur"] == (
+                (record["end"] - record["start"]) * 1000.0
+            )
+
+    def test_one_process_lane_per_trace(self):
+        document = chrome_trace(_instrumented_hub())
+        metas = [e for e in document["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        lane_names = {m["args"]["name"] for m in metas}
+        assert lane_names == {"a#0", "b#0"}
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len({e["pid"] for e in xs}) == 2
+
+    def test_instant_events_land_in_their_journey_lane(self):
+        document = chrome_trace(_instrumented_hub())
+        events = [e for e in document["traceEvents"] if e["ph"] == "i"]
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert len(events) == 2
+        assert {e["pid"] for e in events} <= {e["pid"] for e in xs}
+
+    def test_open_span_rendered_with_zero_duration(self):
+        hub = ObservabilityHub()
+        hub.tracer.start_span("request", start=1.0, trace_id="a#0")
+        (event,) = [e for e in chrome_trace(hub)["traceEvents"]
+                    if e["ph"] == "X"]
+        assert event["dur"] == 0.0
+        assert event["args"]["status"] == "open"
+
+    def test_accepts_hub_directly(self):
+        hub = _instrumented_hub()
+        from_hub = chrome_trace(hub)
+        from_records = chrome_trace(list(iter_jsonl_records(hub)))
+        assert (len(from_hub["traceEvents"])
+                == len(from_records["traceEvents"]))
+
+    def test_write_chrome_trace_is_valid_json(self, tmp_path):
+        hub = _instrumented_hub()
+        path = tmp_path / "trace.json"
+        count = write_chrome_trace(hub, str(path))
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == count > 0
+
+    def test_metrics_records_are_skipped(self):
+        hub = _instrumented_hub()
+        hub.registry.counter("c_total").inc()
+        document = chrome_trace(hub)
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "c_total" not in names
