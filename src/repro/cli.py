@@ -14,6 +14,9 @@ Usage::
     python -m repro obs --self-check # observability pipeline self-test
     python -m repro bench            # perf baselines -> BENCH_*.json
     python -m repro bench --compare OLD NEW   # regression gate
+    python -m repro adversary --schedules 200 --seed 0   # fault campaign
+    python -m repro adversary --seed 0 --index 46        # one schedule
+    python -m repro adversary --replay failure.json      # replay a script
     python -m repro all              # every experiment above
 
 Any experiment command accepts ``--metrics-out FILE.jsonl`` /
@@ -54,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=[
             "fig2", "fig3", "fig4", "compare", "wan", "theorems",
             "ablations", "scale", "availability", "throughput", "live",
-            "obs", "bench", "all",
+            "obs", "bench", "adversary", "all",
         ],
         help="which experiment to regenerate",
     )
@@ -137,6 +140,44 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "with bench --compare: relative throughput drop that counts "
             "as a regression (default 0.10)"
+        ),
+    )
+    parser.add_argument(
+        "--schedules", type=int, default=200, metavar="N",
+        help=(
+            "with the adversary command: how many seeded schedules to "
+            "generate and check (default 200)"
+        ),
+    )
+    parser.add_argument(
+        "--index", type=int, default=None, metavar="I",
+        help=(
+            "with the adversary command: check exactly campaign "
+            "schedule I of --seed instead of a full campaign (this is "
+            "the reproduction command a failing campaign prints)"
+        ),
+    )
+    parser.add_argument(
+        "--replay", metavar="FILE.json", default=None,
+        help=(
+            "with the adversary command: replay one schedule JSON "
+            "(e.g. a saved failure or a corpus file) instead of "
+            "generating schedules"
+        ),
+    )
+    parser.add_argument(
+        "--save-failures", metavar="DIR", default=None,
+        help=(
+            "with the adversary command: write every failing "
+            "schedule's shrunk JSON into DIR, ready for promotion to "
+            "tests/machines/corpus/"
+        ),
+    )
+    parser.add_argument(
+        "--hosts", type=int, default=None, metavar="N",
+        help=(
+            "with the adversary command: fix the cluster size instead "
+            "of drawing 3-5 per schedule"
         ),
     )
     return parser
@@ -367,6 +408,76 @@ def _bench(args) -> int:
         return 2
 
 
+def _adversary(args) -> int:
+    """The ``adversary`` command: fault campaigns over the kernel.
+
+    Three modes: ``--replay FILE`` checks one schedule script,
+    ``--index I`` checks exactly one campaign schedule (the printed
+    reproduction command), and the default runs a ``--schedules``-sized
+    seeded campaign, shrinking and optionally saving every failure.
+    Exit code 1 means an invariant was violated.
+    """
+    from repro.core.machines.adversary import (
+        InvariantViolation, Schedule, campaign_rng, check_schedule,
+        generate_schedule, reproduction_command, run_campaign,
+        shrink_schedule,
+    )
+
+    def check_one(schedule, label):
+        try:
+            outcome = check_schedule(schedule)
+        except InvariantViolation as exc:
+            print(f"{label}: VIOLATION [{exc.kind}] {exc.detail}",
+                  file=sys.stderr)
+            shrunk = shrink_schedule(schedule)
+            print("shrunk replayable schedule:", file=sys.stderr)
+            print(shrunk.to_json(), file=sys.stderr)
+            if args.save_failures:
+                import os
+
+                os.makedirs(args.save_failures, exist_ok=True)
+                path = shrunk.save(os.path.join(
+                    args.save_failures, "adversary_failure.json"
+                ))
+                print(f"saved: {path}", file=sys.stderr)
+            return 1
+        print(f"{label}: ok — statuses {outcome.statuses}, "
+              f"{outcome.events} events")
+        return 0
+
+    if args.replay is not None:
+        return check_one(Schedule.load(args.replay), args.replay)
+    if args.index is not None:
+        schedule = generate_schedule(
+            campaign_rng(args.seed, args.index), n_hosts=args.hosts
+        )
+        return check_one(
+            schedule, f"schedule {args.index} (seed {args.seed})"
+        )
+
+    report = run_campaign(
+        args.schedules,
+        seed=args.seed,
+        n_hosts=args.hosts,
+        save_failures=args.save_failures,
+    )
+    for failure in report.failures:
+        print(
+            f"schedule {failure.index}: VIOLATION [{failure.kind}] "
+            f"{failure.detail}",
+            file=sys.stderr,
+        )
+        print(
+            f"  reproduce: {reproduction_command(report.seed, failure.index)}",
+            file=sys.stderr,
+        )
+        if failure.path:
+            print(f"  shrunk schedule saved: {failure.path}",
+                  file=sys.stderr)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _check_export_paths(args) -> None:
     """Fail fast on unwritable --metrics-out/--trace-out destinations
     (before the experiment runs, not after)."""
@@ -442,6 +553,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         _check_export_paths(args)
         hub = obs.enable(obs.ObservabilityHub())
+
+    if command == "adversary":
+        # Runs under the hub when one is enabled (campaign counters).
+        try:
+            code = _adversary(args)
+            if hub is not None:
+                for line in _write_obs_exports(args, hub):
+                    print(line)
+            return code
+        finally:
+            if hub is not None:
+                from repro.obs import disable
+
+                disable()
 
     runner = _build_runner(args)
     previous_runner = None

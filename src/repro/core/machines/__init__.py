@@ -22,12 +22,19 @@ execution backend:
   protocol tunable (:class:`ProtocolTunables`);
 * :mod:`~repro.core.machines.replay` — a deterministic script-replay
   harness that runs whole protocol scenarios with no simulator, no
-  threads and no randomness.
+  threads and no randomness, including fault primitives (partitions,
+  per-message drop/duplicate/delay, agent churn);
+* :mod:`~repro.core.machines.adversary` — a seeded, property-based
+  schedule adversary over the harness: a JSON-serializable fault DSL,
+  safety/liveness checkers, a generator, a shrinker and campaign
+  tooling (see ``docs/fault-campaigns.md``).
 
 The kernel imports nothing from :mod:`repro.core` (outside this
 package), :mod:`repro.replication`, :mod:`repro.sim`, :mod:`repro.net`
 or :mod:`repro.runtime` — only :mod:`repro.errors` and
-:mod:`repro.agents.identity`. See ``docs/architecture.md``.
+:mod:`repro.agents.identity`. (The adversary's campaign runner binds
+to :mod:`repro.obs` lazily, for counters, without dragging it into
+kernel imports.) See ``docs/architecture.md``.
 """
 
 from repro.core.machines.structures import (
@@ -93,7 +100,33 @@ from repro.core.machines.effects import (
 )
 from repro.core.machines.replica import ReplicaMachine
 from repro.core.machines.agent import AgentCoreState, AgentMachine
-from repro.core.machines.replay import KernelHarness, replay
+from repro.core.machines.replay import (
+    DROPPABLE_KINDS,
+    EventBudgetExceeded,
+    KernelHarness,
+    replay,
+)
+from repro.core.machines.adversary import (
+    CampaignFailure,
+    CampaignReport,
+    CrashOp,
+    DelayOp,
+    DropOp,
+    DuplicateOp,
+    HealOp,
+    InvariantViolation,
+    KillOp,
+    PartitionOp,
+    RestartOp,
+    Schedule,
+    ScheduleOutcome,
+    SubmitOp,
+    check_schedule,
+    generate_schedule,
+    run_campaign,
+    run_schedule,
+    shrink_schedule,
+)
 
 __all__ = [
     # structures
@@ -116,5 +149,11 @@ __all__ = [
     "ReleaseNotify", "Send", "SetTimer", "Visit",
     # machines + harness
     "ReplicaMachine", "AgentCoreState", "AgentMachine",
-    "KernelHarness", "replay",
+    "KernelHarness", "replay", "EventBudgetExceeded", "DROPPABLE_KINDS",
+    # adversary
+    "Schedule", "ScheduleOutcome", "InvariantViolation",
+    "SubmitOp", "CrashOp", "RestartOp", "PartitionOp", "HealOp",
+    "DropOp", "DuplicateOp", "DelayOp", "KillOp",
+    "run_schedule", "check_schedule", "generate_schedule",
+    "shrink_schedule", "run_campaign", "CampaignFailure", "CampaignReport",
 ]

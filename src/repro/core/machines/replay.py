@@ -18,6 +18,27 @@ machines' effects. That is what this module provides:
   candidate, back-off equal to its mean — so every run is a pure
   function of the submitted workload and fault script.
 
+Beyond replica crash/restart, the harness exposes the fault primitives
+the schedule adversary (:mod:`~repro.core.machines.adversary`)
+randomizes over, all of them deterministic:
+
+* **partitions** (:meth:`KernelHarness.set_partition` /
+  :meth:`KernelHarness.heal_partition`) — messages crossing the cut are
+  buffered and delivered after the heal (asynchrony, not loss: the
+  paper's model assumes reliable channels between live servers), and an
+  agent migrating across the cut receives ``ReplicaDown``;
+* **per-message perturbations** (:meth:`KernelHarness.drop_message`,
+  :meth:`KernelHarness.duplicate_message`,
+  :meth:`KernelHarness.delay_message`) — addressed by the global send
+  index, which is well-defined because the harness is deterministic.
+  Drops are restricted to :data:`DROPPABLE_KINDS`, the request/response
+  traffic the protocol itself retries; COMMIT/ABORT/SYNC propagation is
+  reliable in the paper's model and may be delayed or duplicated but
+  never silently lost;
+* **agent churn** (:meth:`KernelHarness.kill`) — an agent vanishes
+  mid-flight, leaving its lock entries and any unreleased grants behind
+  (the grant-TTL expiry path exists exactly for this).
+
 The harness is *not* a third execution backend for experiments; it
 exists so protocol edge cases and cross-machine races are testable
 without booting either real backend.
@@ -50,7 +71,41 @@ from repro.core.machines.events import Arrived, MsgReceived, ReplicaDown, TimerF
 from repro.core.machines.replica import ReplicaMachine
 from repro.core.machines.wire import UpdatePayload
 
-__all__ = ["replay", "KernelHarness"]
+__all__ = [
+    "replay",
+    "KernelHarness",
+    "EventBudgetExceeded",
+    "DROPPABLE_KINDS",
+]
+
+#: Message kinds a ``drop_message`` directive may actually lose. These
+#: are the claim-round request/response messages the protocol retries on
+#: its own timers. COMMIT/ABORT (write-all propagation) and the
+#: SYNC pair (crash recovery) are reliable in the paper's fault model —
+#: losing them silently would manufacture divergence the protocol never
+#: claims to survive — so drop directives aimed at them are no-ops.
+DROPPABLE_KINDS = frozenset(
+    ("UPDATE", "ACK", "NACK", "RELEASE", "READQ", "READR")
+)
+
+
+class EventBudgetExceeded(RuntimeError):
+    """The harness hit its ``max_events`` budget before the queue drained.
+
+    Raised (never swallowed) so a livelocked schedule reads as a test
+    *failure* rather than a silent truncated pass. Subclasses
+    ``RuntimeError`` for backward compatibility with callers that caught
+    the old generic error.
+    """
+
+    def __init__(self, max_events: int, now: float, pending: int) -> None:
+        super().__init__(
+            f"harness exceeded {max_events} events at t={now:g} with "
+            f"{pending} still queued — livelock?"
+        )
+        self.max_events = max_events
+        self.now = now
+        self.pending = pending
 
 
 def replay(machine, inputs) -> List[List[Any]]:
@@ -112,6 +167,16 @@ class KernelHarness:
         self.results: Dict[int, str] = {}
         self._queue: List[Tuple[float, int, Tuple]] = []
         self._seq = 0
+        # -- fault-injection state (all empty => classic behaviour) -----
+        self.partition: Optional[Dict[str, int]] = None
+        self._partition_buffer: List[Tuple[str, str, Any, str]] = []
+        self.msg_index = 0
+        self.drop_msgs: Set[int] = set()
+        self.dup_msgs: Dict[int, float] = {}
+        self.delay_msgs: Dict[int, float] = {}
+        self.dropped: List[Tuple[float, str, str, str]] = []
+        self.killed: Set[AgentId] = set()
+        self.events_processed = 0
 
     # -- workload & faults ----------------------------------------------
 
@@ -153,27 +218,144 @@ class KernelHarness:
         host: str,
         at: Optional[float] = None,
         sync_from: Optional[str] = None,
+        atomic: bool = False,
     ) -> None:
-        """Bring a crashed replica back, optionally resyncing from a peer."""
+        """Bring a crashed replica back, optionally resyncing from a peer.
+
+        ``atomic=True`` models the backends' recovery discipline (the
+        server completes its catch-up *before* rejoining): the snapshot
+        is pulled synchronously from ``sync_from`` — or, when omitted,
+        from the lowest-named live peer — instead of via a SYNC message
+        round-trip during which the stale replica could already answer
+        claims.
+        """
         if at is None:
-            self.down.discard(host)
-            if sync_from is not None:
-                self._deliver_later(
-                    sync_from, "SYNC_REQUEST", {}, src=host
-                )
+            self._do_restart(host, sync_from, atomic)
         else:
-            self._schedule(at, ("restart", host, sync_from))
+            self._schedule(at, ("restart", host, sync_from, atomic))
+
+    def kill(self, agent_id: AgentId, at: Optional[float] = None) -> None:
+        """Remove an agent from the world (mid-flight churn).
+
+        The agent simply vanishes: its lock entries and any grant it
+        holds stay behind at the replicas, exactly as when a mobile
+        agent's host platform dies. Grant-TTL expiry is what unwedges
+        the servers it claimed at.
+        """
+        if at is None:
+            self._do_kill(agent_id)
+        else:
+            self._schedule(at, ("kill", agent_id))
+
+    def set_partition(self, groups, at: Optional[float] = None) -> None:
+        """Split the cluster into ``groups`` (iterables of host names).
+
+        Messages crossing the cut are buffered and delivered after
+        :meth:`heal_partition` (reliable-but-asynchronous channels, the
+        paper's model); migrations across the cut yield ``ReplicaDown``.
+        Hosts named in no group are isolated singletons. A new partition
+        replaces the previous one wholesale.
+        """
+        if at is not None:
+            self._schedule(at, ("partition", tuple(map(tuple, groups))))
+            return
+        mapping: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for host in group:
+                if host not in self.replicas:
+                    raise ValueError(f"unknown host {host!r} in partition")
+                mapping[host] = index
+        next_group = len(mapping)
+        for host in self.hosts:
+            if host not in mapping:
+                mapping[host] = next_group
+                next_group += 1
+        self.partition = mapping
+
+    def heal_partition(self, at: Optional[float] = None) -> None:
+        """Remove the partition and deliver every buffered message."""
+        if at is not None:
+            self._schedule(at, ("heal",))
+            return
+        self.partition = None
+        buffered, self._partition_buffer = self._partition_buffer, []
+        for dst, kind, payload, src in buffered:
+            self._schedule(
+                self.now + self.msg_latency, ("deliver", dst, kind, payload, src)
+            )
+
+    def drop_message(self, nth: int) -> None:
+        """Drop the ``nth`` message handed to the network (0-based).
+
+        Only kinds in :data:`DROPPABLE_KINDS` are actually lost; a drop
+        directive landing on reliable traffic (COMMIT/ABORT/SYNC) is a
+        recorded no-op.
+        """
+        self.drop_msgs.add(nth)
+
+    def duplicate_message(self, nth: int, extra_delay: float = 0.0) -> None:
+        """Deliver the ``nth`` message twice, the copy ``extra_delay`` later."""
+        self.dup_msgs[nth] = extra_delay
+
+    def delay_message(self, nth: int, by: float) -> None:
+        """Add ``by`` to the ``nth`` message's delivery latency."""
+        self.delay_msgs[nth] = by
+
+    def _reachable(self, src: str, dst: str) -> bool:
+        if self.partition is None or src == dst:
+            return True
+        return self.partition.get(src) == self.partition.get(dst)
+
+    def _do_restart(
+        self, host: str, sync_from: Optional[str], atomic: bool
+    ) -> None:
+        self.down.discard(host)
+        if atomic:
+            peer = sync_from or min(
+                (h for h in self.hosts if h not in self.down and h != host),
+                default=None,
+            )
+            if peer is None:
+                return  # no live peer: rejoin on durable state alone
+            replica = self.replicas[host]
+            for effect in self.replicas[peer].on_message(
+                "SYNC_REQUEST", {}, src=host, now=self.now
+            ):
+                if isinstance(effect, Send) and effect.kind == "SYNC_REPLY":
+                    self._run_replica(
+                        replica,
+                        replica.on_message(
+                            "SYNC_REPLY", effect.payload, src=peer,
+                            now=self.now,
+                        ),
+                    )
+        elif sync_from is not None:
+            self._deliver_later(sync_from, "SYNC_REQUEST", {}, src=host)
+
+    def _do_kill(self, agent_id: AgentId) -> None:
+        run = self.agents.pop(agent_id, None)
+        if run is None:
+            return
+        self.killed.add(agent_id)
+        for waiting in self.parked.values():
+            waiting.discard(agent_id)
 
     # -- event loop -----------------------------------------------------
 
     def run(self, until: float = 1e9, max_events: int = 100_000) -> float:
-        """Drain the event queue up to ``until``; returns the final time."""
+        """Drain the event queue up to ``until``; returns the final time.
+
+        Raises :class:`EventBudgetExceeded` when more than ``max_events``
+        events fire before the queue drains — a livelocked schedule must
+        surface as a failure, never as a silently truncated pass.
+        """
         processed = 0
         while self._queue and self._queue[0][0] <= until:
             processed += 1
+            self.events_processed += 1
             if processed > max_events:
-                raise RuntimeError(
-                    f"harness exceeded {max_events} events — livelock?"
+                raise EventBudgetExceeded(
+                    max_events, self.now, len(self._queue)
                 )
             when, _seq, action = heapq.heappop(self._queue)
             self.now = when
@@ -187,9 +369,23 @@ class KernelHarness:
     def _deliver_later(
         self, dst: str, kind: str, payload: Any, src: str
     ) -> None:
+        index = self.msg_index
+        self.msg_index += 1
+        if index in self.drop_msgs and kind in DROPPABLE_KINDS:
+            self.dropped.append((self.now, src, dst, kind))
+            return
+        if not self._reachable(src, dst):
+            self._partition_buffer.append((dst, kind, payload, src))
+            return
+        latency = self.msg_latency + self.delay_msgs.get(index, 0.0)
         self._schedule(
-            self.now + self.msg_latency, ("deliver", dst, kind, payload, src)
+            self.now + latency, ("deliver", dst, kind, payload, src)
         )
+        if index in self.dup_msgs:
+            self._schedule(
+                self.now + latency + self.dup_msgs[index],
+                ("deliver", dst, kind, payload, src),
+            )
 
     def _handle(self, action: Tuple) -> None:
         op = action[0]
@@ -212,10 +408,14 @@ class KernelHarness:
         elif op == "crash":
             self.down.add(action[1])
         elif op == "restart":
-            _op, host, sync_from = action
-            self.down.discard(host)
-            if sync_from is not None:
-                self._deliver_later(sync_from, "SYNC_REQUEST", {}, src=host)
+            _op, host, sync_from, atomic = action
+            self._do_restart(host, sync_from, atomic)
+        elif op == "partition":
+            self.set_partition(action[1])
+        elif op == "heal":
+            self.heal_partition()
+        elif op == "kill":
+            self._do_kill(action[1])
 
     # -- visits ----------------------------------------------------------
 
@@ -223,7 +423,9 @@ class KernelHarness:
         run = self.agents.get(agent_id)
         if run is None:
             return
-        if host in self.down:
+        # run.host is still the origin until the visit lands, so the
+        # reachability check covers migrations across a partition cut.
+        if host in self.down or not self._reachable(run.host, host):
             self._run_agent(run, run.machine.on(ReplicaDown(host, self.now)))
             return
         run.host = host

@@ -12,7 +12,7 @@ class TestParser:
         parser = build_parser()
         for command in (
             "fig2", "fig3", "fig4", "compare", "wan", "theorems",
-            "ablations", "live", "obs", "bench", "all",
+            "ablations", "live", "obs", "bench", "adversary", "all",
         ):
             assert parser.parse_args([command]).command == command
 
@@ -35,6 +35,11 @@ class TestParser:
         assert args.bench_suite == "all"
         assert args.out_dir == "."
         assert args.threshold == 0.10
+        assert args.schedules == 200
+        assert args.index is None
+        assert args.replay is None
+        assert args.save_failures is None
+        assert args.hosts is None
 
     def test_options(self):
         args = build_parser().parse_args(
@@ -139,6 +144,85 @@ class TestObsCommand:
         assert document["displayTimeUnit"] == "ms"
         spans = [e for e in document["traceEvents"] if e["ph"] == "X"]
         assert any(e["name"] == "request" for e in spans)
+
+
+class TestAdversaryCommand:
+    def test_small_campaign_passes(self, capsys):
+        code = main(["adversary", "--schedules", "10", "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "10/10 schedules ok" in out
+        assert "0 violations" in out
+
+    def test_single_index_reproduction(self, capsys):
+        code = main(["adversary", "--seed", "0", "--index", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "schedule 3 (seed 0): ok" in out
+
+    def test_replay_corpus_schedule(self, capsys):
+        code = main([
+            "adversary", "--replay",
+            "tests/machines/corpus/three_way_tie_break.json",
+        ])
+        assert code == 0
+        assert "ok — statuses" in capsys.readouterr().out
+
+    def test_fixed_hosts_flag(self, capsys):
+        code = main(["adversary", "--schedules", "3", "--hosts", "3"])
+        assert code == 0
+        assert "3/3 schedules ok" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_and_prints_reproduction(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        # Break the kernel's majority check: the campaign must fail,
+        # name the schedule, print its reproduction command, and save
+        # the shrunk JSON for corpus promotion.
+        from unittest import mock
+
+        from repro.core.machines import AgentMachine, Schedule
+
+        with mock.patch.object(
+            AgentMachine, "vote_majority", property(lambda self: 1)
+        ):
+            code = main([
+                "adversary", "--schedules", "60", "--seed", "0",
+                "--save-failures", str(tmp_path),
+            ])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "VIOLATION [safety]" in captured.err
+        assert "reproduce: PYTHONPATH=src python -m repro adversary" \
+            in captured.err
+        saved = sorted(tmp_path.glob("*.json"))
+        assert saved
+        # The saved script is directly loadable (and passes once the
+        # kernel is fixed — i.e. unpatched).
+        schedule = Schedule.load(str(saved[0]))
+        assert main([
+            "adversary", "--replay", str(saved[0]),
+        ]) == 0
+
+    def test_campaign_counters_reach_the_hub(self, tmp_path, capsys):
+        from repro.obs.export import read_jsonl
+
+        metrics_path = tmp_path / "m.jsonl"
+        code = main([
+            "adversary", "--schedules", "4",
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        names = {r["name"] for r in read_jsonl(str(metrics_path))}
+        assert "adversary_schedules_total" in names
+        assert "adversary_events_total" in names
+
+    def test_adversary_leaves_no_global_hub(self, tmp_path):
+        from repro.obs import get_hub
+
+        main(["adversary", "--schedules", "2",
+              "--metrics-out", str(tmp_path / "m.jsonl")])
+        assert get_hub() is None
 
 
 class TestBenchCommand:

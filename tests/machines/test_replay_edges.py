@@ -11,10 +11,12 @@ Covered here:
 * a COMMIT overtaking its own UPDATE on a reordered channel, and the
   agent-side mirror (an ACK straggling in after the round resolved);
 * a park-timeout wakeup racing the lock-release notification;
-* the paper's M-way identifier tie-break guard ``S + (N − M·S) < ⌈(N+1)/2⌉``.
+* the paper's M-way identifier tie-break guard ``S + (N − M·S) < ⌈(N+1)/2⌉``;
+* a duplicated COMMIT landing after its target crashed, resynced and
+  rejoined (schedule-DSL expressible since the adversary);
+* a partition heal delivering a buffered COMMIT *after* the grant that
+  certified it expired on the far side.
 """
-
-import pytest
 
 from repro.agents.identity import AgentId
 from repro.core.machines import (
@@ -255,3 +257,106 @@ class TestMWayTieBreak:
         # The identifier tie-break designates the smallest id: it claims
         # first and therefore takes version 1.
         assert chains["x"][0] == (1, f"v-{min(ids).host}")
+
+
+class TestDuplicateCommitAfterRestart:
+    """A COMMIT whose target crashed, and whose duplicate then lands on
+    the restarted (already resynced) replica, must be a no-op.
+
+    Written in the adversary schedule DSL: the single agent's COMMIT to
+    ``s3`` is global message 8 (the harness send index is deterministic,
+    see ``test_harness_faults.RecordingHarness``), sent at t=3. The
+    first delivery dies with the crash at t=3.5; the duplicate arrives
+    at t=24 against a replica that atomically resynced at t=10.
+    """
+
+    def schedule(self):
+        from repro.core.machines import (
+            CrashOp,
+            DuplicateOp,
+            RestartOp,
+            Schedule,
+            SubmitOp,
+        )
+
+        return Schedule(
+            n_hosts=3,
+            submits=(
+                SubmitOp(home="s1", request_id=1, key="x", value="v1"),
+            ),
+            ops=(
+                DuplicateOp(nth=8, extra_delay=20.0),
+                CrashOp(host="s3", at=3.5),
+                RestartOp(host="s3", at=10.0),
+            ),
+        )
+
+    def test_duplicate_is_idempotent_against_synced_state(self):
+        from repro.core.machines import check_schedule, run_schedule
+
+        harness, _ids = run_schedule(self.schedule())
+        assert harness.statuses() == {1: "committed"}
+        replica = harness.replicas["s3"]
+        # The value came in through the atomic resync; the straggling
+        # duplicate COMMIT found version 1 already present and applied
+        # nothing.
+        assert replica.read("x").value == "v1"
+        assert replica.commits_applied == 0
+        assert len(replica.history) == 0
+        # And the run as a whole upholds both invariants.
+        check_schedule(self.schedule())
+
+
+class TestPartitionHealRacesGrantExpiry:
+    """A buffered COMMIT crossing a heal after its grant expired.
+
+    Agent A is granted everywhere at t=2 (TTL 30 → s3's grant dies at
+    t=32); the partition at t=2.5 buffers A's COMMIT to ``s3``; B, born
+    on the minority side, cannot tour a majority until the heal at
+    t=35. The heal then delivers A's COMMIT to a server whose grant for
+    A is already gone, while B's claim races in behind it — the [D3]
+    version ceiling (B's ACK quorum includes the committed majority)
+    must serialize B at version 2 regardless of how the race lands.
+    """
+
+    def schedule(self):
+        from repro.core.machines import (
+            HealOp,
+            PartitionOp,
+            Schedule,
+            SubmitOp,
+        )
+
+        return Schedule(
+            n_hosts=3,
+            tunables={"grant_ttl": 30.0},
+            submits=(
+                SubmitOp(home="s1", request_id=1, key="x", value="a"),
+                SubmitOp(home="s3", request_id=2, key="x", value="b",
+                         at=4.0),
+            ),
+            ops=(
+                PartitionOp(groups=(("s1", "s2"), ("s3",)), at=2.5),
+                HealOp(at=35.0),
+            ),
+        )
+
+    def test_ceiling_serializes_across_the_heal(self):
+        from repro.core.machines import check_schedule, run_schedule
+
+        harness, _ids = run_schedule(self.schedule())
+        assert harness.statuses() == {1: "committed", 2: "committed"}
+        assert harness.commit_chains() == {"x": [(1, "a"), (2, "b")]}
+        # s3 applied A's buffered COMMIT only after the heal — i.e.
+        # after its own grant for A had expired — and B's immediately
+        # behind it, in ceiling order.
+        applied = [
+            (r.version, r.value)
+            for r in harness.replicas["s3"].history
+        ]
+        assert applied == [(1, "a"), (2, "b")]
+        assert all(
+            r.committed_at > 35.0
+            for r in harness.replicas["s3"].history
+        )
+        check_schedule(self.schedule())
