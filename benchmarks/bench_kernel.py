@@ -76,6 +76,80 @@ def test_decision_function_speed(benchmark):
 
 
 @pytest.mark.benchmark(group="kernel")
+@pytest.mark.parametrize("n_servers", [5, 25, 100])
+def test_decide_scales_with_table_width(benchmark, n_servers):
+    """The priority rule over wide tables (the ROADMAP's
+    hundreds-of-replicas sweeps) — exercises the packed top scan and
+    the mutation-counter memo."""
+    from repro.core.priority import rank_queue
+
+    table = LockingTable()
+    agents = [AgentId("h", float(n), 0) for n in range(20)]
+    for index in range(n_servers):
+        table.update(
+            SharedView(
+                host=f"s{index + 1}",
+                as_of=1.0,
+                view=tuple(agents[index % 5:] + agents[:index % 5]),
+                updated=frozenset(agents[:3]),
+                versions={"x": index},
+            )
+        )
+
+    def evaluate():
+        decision = decide(table, n_servers, agents[5])
+        order = rank_queue(table, n_servers, limit=3)
+        return decision, order
+
+    decision, order = benchmark(evaluate)
+    assert decision.outcome is not None
+    assert len(order) <= 3
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_table_merge_throughput(benchmark):
+    """The flattened LL/UL->LT merge: fold a tour's worth of fresh
+    views (interning, UAL flags, version fold, packed adoption)."""
+    agents = [AgentId("h", float(n), 0) for n in range(30)]
+    tour = [
+        SharedView(
+            host=f"s{index + 1}",
+            as_of=float(round_ + 1),
+            view=tuple(agents[(index + round_) % 10:]),
+            updated=frozenset(agents[:round_ % 5]),
+            versions={"x": round_, "y": index},
+        )
+        for round_ in range(10)
+        for index in range(10)
+    ]
+
+    def merge_tour():
+        table = LockingTable()
+        for view in tour:
+            table.update(view)
+        return len(table.known_hosts)
+
+    assert benchmark(merge_tour) == 10
+
+
+@pytest.mark.benchmark(group="kernel")
+def test_event_enqueue_dequeue_throughput(benchmark):
+    """The bare queue cycle (Timeout alloc + heap push/pop + callback),
+    without any process machinery on top."""
+
+    def churn():
+        env = Environment()
+        fired = []
+        append = fired.append
+        for index in range(2000):
+            env.timeout(index % 7).callbacks.append(append)
+        env.run()
+        return len(fired)
+
+    assert benchmark(churn) == 2000
+
+
+@pytest.mark.benchmark(group="kernel")
 def test_end_to_end_run_throughput(benchmark):
     config = RunConfig(
         n_replicas=5, seed=0, mean_interarrival=50.0,

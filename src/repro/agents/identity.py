@@ -18,6 +18,10 @@ from typing import Dict
 
 __all__ = ["AgentId", "AgentIdFactory"]
 
+#: UTF-8 length per host name — identifiers are sized once per message
+#: per carried id, and the host-name population is tiny.
+_HOST_BYTES: Dict[str, int] = {}
+
 
 @total_ordering
 @dataclass(frozen=True)
@@ -41,7 +45,11 @@ class AgentId:
 
     def wire_size(self) -> int:
         """Bytes this identifier occupies on the wire."""
-        return len(self.host.encode("utf-8")) + 8 + 4
+        host = self.host
+        size = _HOST_BYTES.get(host)
+        if size is None:
+            _HOST_BYTES[host] = size = len(host.encode("utf-8"))
+        return size + 8 + 4
 
 
 class AgentIdFactory:

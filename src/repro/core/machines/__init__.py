@@ -37,6 +37,7 @@ to :mod:`repro.obs` lazily, for counters, without dragging it into
 kernel imports.) See ``docs/architecture.md``.
 """
 
+from repro.core.machines.intern import Interner
 from repro.core.machines.structures import (
     CommitRecord,
     HistoryLog,
@@ -62,6 +63,7 @@ from repro.core.machines.priority import (
     WIN,
     Decision,
     decide,
+    decide_reference,
     rank_queue,
 )
 from repro.core.machines.config import (
@@ -130,14 +132,14 @@ from repro.core.machines.adversary import (
 
 __all__ = [
     # structures
-    "CommitRecord", "HistoryLog", "LockEntry", "LockingList", "LockView",
-    "UpdatedList", "VersionedStore", "VersionedValue",
+    "CommitRecord", "HistoryLog", "Interner", "LockEntry", "LockingList",
+    "LockView", "UpdatedList", "VersionedStore", "VersionedValue",
     # wire
     "SharedView", "Transform", "UpdatePayload", "VisitData", "WriteOp",
     # table + priority
     "LockingTable",
     "OTHER", "STALEMATE", "UNDECIDED", "WIN",
-    "Decision", "decide", "rank_queue",
+    "Decision", "decide", "decide_reference", "rank_queue",
     # config
     "DES_TUNABLES", "LIVE_TUNABLES", "ProtocolTunables",
     # events

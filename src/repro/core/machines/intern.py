@@ -1,0 +1,84 @@
+"""Dense-integer interning for kernel hot-path state.
+
+The flat-state kernel (see ``docs/architecture.md``, "Kernel internals")
+stores protocol state — locking-list queues, Updated-List membership,
+priority tallies — as preallocated flat arrays indexed by *interned*
+ids: each distinct :class:`~repro.agents.identity.AgentId` (or host
+name) a structure encounters is assigned the next dense integer slot,
+first-seen order. Interning turns the dataclass hashing that dominated
+``decide`` profiles (one ``AgentId.__hash__`` per membership probe)
+into integer indexing into a ``bytearray``.
+
+Two invariants keep interning invisible to the protocol:
+
+* **Ids are aliases, never order.** Protocol tie-breaks sort by the
+  *AgentId's own* total order, never by slot number — slot assignment
+  depends on visit interleavings and must not leak into any decision.
+  :meth:`Interner.sort_key` exposes the identifier's ordering key for
+  exactly this reason.
+* **Interning is process-local.** Nothing interned ever crosses the
+  wire: ``SharedView`` / ``UpdatePayload`` / replay & adversary JSON
+  carry full identifiers, and each structure re-interns on ingestion,
+  so the wire and persistence formats are byte-identical to the
+  pre-flattening kernel (round-trip pinned by
+  ``tests/machines/test_flat_structures.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, List, Optional
+
+__all__ = ["Interner"]
+
+
+class Interner:
+    """First-seen-order bijection between hashable values and dense ints.
+
+    Also maintains a parallel ``sort_key`` slab so callers can order
+    interned slots by the underlying value's ``_key()`` (AgentId's total
+    order) without re-touching the objects, and grows any number of
+    registered flat side-arrays (e.g. membership flags) in lock step.
+    """
+
+    __slots__ = ("_values", "_index", "_sort_keys")
+
+    def __init__(self) -> None:
+        self._values: List[Any] = []
+        self._index: Dict[Any, int] = {}
+        self._sort_keys: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._index
+
+    def intern(self, value: Hashable) -> int:
+        """Slot of ``value``, allocating the next dense slot if new."""
+        slot = self._index.get(value)
+        if slot is None:
+            slot = len(self._values)
+            self._index[value] = slot
+            self._values.append(value)
+            key = getattr(value, "_key", None)
+            self._sort_keys.append(key() if callable(key) else value)
+        return slot
+
+    def index_of(self, value: Hashable) -> Optional[int]:
+        """Slot of ``value`` if already interned, else ``None``."""
+        return self._index.get(value)
+
+    def value(self, slot: int) -> Any:
+        """The original value stored in ``slot``."""
+        return self._values[slot]
+
+    def sort_key(self, slot: int) -> Any:
+        """The value's own ordering key (``_key()`` when it has one)."""
+        return self._sort_keys[slot]
+
+    def values(self):
+        """All interned values, slot order (a direct, do-not-mutate view)."""
+        return self._values
+
+    def __repr__(self) -> str:
+        return f"<Interner n={len(self._values)}>"

@@ -22,6 +22,22 @@ different winners. Instead the decision is returned as a ``STALEMATE``
 and the protocol has tie-break *losers* re-queue their lock entries
 (back-off), which lets the designated winner rise to a genuine, safely
 actionable majority. Rules 2–3 therefore drive liveness, never safety.
+
+Two implementations live here, deliberately:
+
+* :func:`decide` — the hot path. It evaluates the same rule cascade
+  over the Locking Table's *packed* state (interned integer slots and a
+  flag slab, see :mod:`repro.core.machines.table`), and memoises the
+  self-independent core of the decision against the table's mutation
+  counter: re-evaluating an unchanged table is one cache probe. Tie
+  groups are still ordered by the **AgentId's own total order** (via
+  the interner's sort-key slab) — interned slot numbers never order
+  anything.
+* :func:`decide_reference` — the original dataclass-and-dict
+  evaluation, kept as the executable specification. The weighted-voting
+  generalisation always routes here (it is off the per-event path), and
+  ``tests/machines/test_flat_structures.py`` property-checks
+  ``decide == decide_reference`` over randomized tables.
 """
 
 from __future__ import annotations
@@ -34,7 +50,7 @@ from repro.agents.identity import AgentId
 from repro.core.machines.table import LockingTable
 
 __all__ = [
-    "Decision", "decide", "rank_queue",
+    "Decision", "decide", "decide_reference", "rank_queue",
     "WIN", "OTHER", "STALEMATE", "UNDECIDED",
 ]
 
@@ -102,7 +118,118 @@ def decide(
     total votes. The paper's early tie-break guard only applies to the
     unweighted case; weighted deployments rely on the complete-
     information rule (liveness is unaffected — the claim round's grants
-    provide safety either way).
+    provide safety either way). Weighted evaluation runs on the
+    reference implementation; it is not on the per-event hot path.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1: {n_replicas}")
+    if votes is not None or type(table) is not LockingTable:
+        return decide_reference(
+            table, n_replicas, self_id, votes=votes,
+            extra_done=extra_done, unavailable=unavailable,
+        )
+    majority = n_replicas // 2 + 1
+    if not extra_done:
+        key = (table._mutations, n_replicas, unavailable)
+        cache = table._decide_cache
+        if cache is not None and cache[0] == key:
+            core = cache[1]
+        else:
+            core = _decide_core(table, n_replicas, majority,
+                                frozenset(), unavailable)
+            table._decide_cache = (key, core)
+    else:
+        core = _decide_core(table, n_replicas, majority,
+                            extra_done, unavailable)
+    reason, winner, counts, quorum = core
+    if reason == "majority":
+        return Decision(
+            outcome=WIN if winner == self_id else OTHER,
+            winner=winner,
+            reason="majority",
+            top_counts=dict(counts),
+            quorum_hosts=quorum,
+        )
+    if winner is not None:
+        return Decision(
+            outcome=STALEMATE,
+            winner=winner,
+            reason=reason,
+            top_counts=dict(counts),
+        )
+    return Decision(outcome=UNDECIDED, top_counts=dict(counts))
+
+
+def _decide_core(
+    table: LockingTable,
+    n_replicas: int,
+    majority: int,
+    extra_done: frozenset,
+    unavailable: frozenset,
+):
+    """The self-independent part of the rule cascade, over packed slots.
+
+    Returns ``(reason, winner, top_counts, quorum_hosts)`` with
+    ``reason`` in ``{"majority", "paper-tie-break", "complete-info",
+    ""}`` and ``winner is None`` exactly when undecided. Mirrors
+    :func:`decide_reference` rule for rule.
+    """
+    tops_slots, counts_slots = table._tops_slots(extra_done)
+    value = table._ids.value
+    counts = {value(slot): n for slot, n in counts_slots.items()}
+
+    # Rule 1: majority of top-ranks (at most one candidate can qualify).
+    for slot, n in counts_slots.items():
+        if n >= majority:
+            quorum = tuple(sorted(
+                host for host, top in tops_slots.items() if top == slot
+            ))
+            return ("majority", value(slot), counts, quorum)
+
+    known_or_unavailable = (
+        len(tops_slots) + len(unavailable - set(tops_slots))
+    )
+    if known_or_unavailable < n_replicas or not counts_slots:
+        return ("", None, counts, ())
+
+    # All N views known. Identify the leading tie group; the designee is
+    # the smallest by the AgentId's own total order, never by slot.
+    top_score = max(counts_slots.values())
+    tied = [s for s, n in counts_slots.items() if n == top_score]
+    winner_slot = min(tied, key=table._ids.sort_key)
+    m_tied = len(tied)
+
+    # Rule 2: the paper's early tie-break guard (unweighted only). Even
+    # if a tied agent captured every server not currently topped by the
+    # tie group it could not reach a majority, so waiting cannot resolve
+    # the tie.
+    unclaimed = n_replicas - m_tied * top_score
+    if m_tied > 1 and top_score + unclaimed < majority:
+        return ("paper-tie-break", value(winner_slot), counts, ())
+
+    # Rule 3 ([D1]): complete information, every list non-empty, no
+    # majority -> frozen stalemate; designate by identifier.
+    # (Some locking list empty: tops can still change freely — a new
+    # arrival becomes top there — so keep gathering.)
+    for top in tops_slots.values():
+        if top is None:
+            return ("", None, counts, ())
+    return ("complete-info", value(winner_slot), counts, ())
+
+
+def decide_reference(
+    table: LockingTable,
+    n_replicas: int,
+    self_id: AgentId,
+    votes: Optional[Mapping[str, int]] = None,
+    extra_done: frozenset = frozenset(),
+    unavailable: frozenset = frozenset(),
+) -> Decision:
+    """Executable specification of :func:`decide` (original code path).
+
+    Operates through the table's public dataclass API only; the fast
+    path is property-tested equal to this on randomized tables. Also the
+    live path for weighted voting.
     """
     if n_replicas < 1:
         raise ValueError(f"n_replicas must be >= 1: {n_replicas}")

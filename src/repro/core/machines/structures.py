@@ -51,21 +51,30 @@ LockView = Tuple[AgentId, ...]
 
 
 class LockingList:
-    """FIFO list of pending lock requests at one replica server."""
+    """FIFO list of pending lock requests at one replica server.
+
+    Flat-state backing: alongside the ordered entry list, membership is
+    a set (O(1) probes instead of an equality scan — the guarded enqueue
+    in ``begin_visit`` probes on every visit) and the immutable
+    :meth:`view` tuple is cached between mutations, since one queue
+    state is snapshotted into many ``SharedView``s.
+    """
 
     def __init__(self, host: str) -> None:
         self.host = host
         self._entries: List[LockEntry] = []
+        self._members: set = set()
+        self._view_cache: Optional[LockView] = None
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, agent_id: AgentId) -> bool:
-        return any(e.agent_id == agent_id for e in self._entries)
+        return agent_id in self._members
 
     def append(self, entry: LockEntry) -> None:
         """Append a new lock request (one entry per agent)."""
-        if entry.agent_id in self:
+        if entry.agent_id in self._members:
             raise ProtocolError(
                 f"agent {entry.agent_id} already holds a lock entry at "
                 f"{self.host}"
@@ -75,6 +84,8 @@ class LockingList:
                 f"lock entries at {self.host} must be appended in time order"
             )
         self._entries.append(entry)
+        self._members.add(entry.agent_id)
+        self._view_cache = None
 
     def top(self) -> Optional[AgentId]:
         """The agent currently ranked first, or None if empty."""
@@ -82,6 +93,8 @@ class LockingList:
 
     def rank(self, agent_id: AgentId) -> Optional[int]:
         """0-based position of the agent, or None if absent."""
+        if agent_id not in self._members:
+            return None
         for index, entry in enumerate(self._entries):
             if entry.agent_id == agent_id:
                 return index
@@ -89,21 +102,31 @@ class LockingList:
 
     def remove(self, agent_id: AgentId) -> bool:
         """Remove the agent's entry (after its COMMIT). True if present."""
+        if agent_id not in self._members:
+            return False
         for index, entry in enumerate(self._entries):
             if entry.agent_id == agent_id:
                 del self._entries[index]
+                self._members.discard(agent_id)
+                self._view_cache = None
                 return True
         return False
 
     def view(self) -> LockView:
         """Immutable ordered snapshot of the queued agent ids."""
-        return tuple(entry.agent_id for entry in self._entries)
+        cached = self._view_cache
+        if cached is None:
+            cached = tuple(entry.agent_id for entry in self._entries)
+            self._view_cache = cached
+        return cached
 
     def entries(self) -> List[LockEntry]:
         return list(self._entries)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._members.clear()
+        self._view_cache = None
 
     def __repr__(self) -> str:
         ids = ", ".join(str(e.agent_id) for e in self._entries)
@@ -121,6 +144,7 @@ class UpdatedList:
     def __init__(self) -> None:
         self._order: List[AgentId] = []
         self._members: set = set()
+        self._frozen: Optional[frozenset] = None
 
     def __len__(self) -> int:
         return len(self._order)
@@ -134,14 +158,21 @@ class UpdatedList:
             return False
         self._members.add(agent_id)
         self._order.append(agent_id)
+        self._frozen = None
         return True
 
     def merge(self, other_ids) -> int:
         """Union in another UL/UAL; returns number of new entries."""
+        members = self._members
+        order = self._order
         added = 0
         for agent_id in other_ids:
-            if self.add(agent_id):
+            if agent_id not in members:
+                members.add(agent_id)
+                order.append(agent_id)
                 added += 1
+        if added:
+            self._frozen = None
         return added
 
     def ids(self) -> Tuple[AgentId, ...]:
@@ -149,7 +180,13 @@ class UpdatedList:
         return tuple(self._order)
 
     def as_set(self) -> frozenset:
-        return frozenset(self._members)
+        """Frozen membership snapshot (cached between mutations — one
+        queue state is snapshotted into many ``SharedView``s)."""
+        cached = self._frozen
+        if cached is None:
+            cached = frozenset(self._members)
+            self._frozen = cached
+        return cached
 
     def __iter__(self):
         return iter(self._order)
@@ -179,8 +216,18 @@ class VersionedStore:
     already supersedes it).
     """
 
+    # Flat-state backing: three parallel plain dicts (value / version /
+    # updated-at) instead of a dict of frozen ``VersionedValue``s. The
+    # hot paths — ``version_of`` per priority probe, ``version_vector``
+    # per SharedView snapshot and per ACK — become single dict lookups
+    # and a dict copy; ``VersionedValue`` objects are materialised only
+    # at the API boundary (``read``/``snapshot``), whose callers are the
+    # cold read/recovery/audit paths.
+
     def __init__(self) -> None:
-        self._data: Dict[str, VersionedValue] = {}
+        self._values: Dict[str, Any] = {}
+        self._versions: Dict[str, int] = {}
+        self._times: Dict[str, float] = {}
         #: versions applied, in application order, per key (for audits)
         self.applied_log: List[Tuple[str, int, float]] = []
         self.stale_rejections = 0
@@ -189,28 +236,34 @@ class VersionedStore:
 
     def read(self, key: str) -> Optional[VersionedValue]:
         """Current versioned value, or ``None`` if never written."""
-        return self._data.get(key)
+        version = self._versions.get(key)
+        if version is None:
+            return None
+        return VersionedValue(self._values[key], version, self._times[key])
 
     def version_of(self, key: str) -> int:
         """Installed version for ``key`` (0 if absent)."""
-        entry = self._data.get(key)
-        return entry.version if entry is not None else 0
+        return self._versions.get(key, 0)
 
     def last_update_time(self, key: str) -> float:
         """Paper's 'time of last update' (-inf if never written)."""
-        entry = self._data.get(key)
-        return entry.updated_at if entry is not None else float("-inf")
+        return self._times.get(key, float("-inf"))
 
     def keys(self) -> List[str]:
-        return sorted(self._data)
+        return sorted(self._versions)
 
     def snapshot(self) -> Dict[str, VersionedValue]:
         """Copy of the full store (for recovery transfer and audits)."""
-        return dict(self._data)
+        values = self._values
+        times = self._times
+        return {
+            key: VersionedValue(values[key], version, times[key])
+            for key, version in self._versions.items()
+        }
 
     def version_vector(self) -> Dict[str, int]:
         """``key -> version`` for every key present."""
-        return {key: vv.version for key, vv in self._data.items()}
+        return self._versions.copy()
 
     # -- writes -------------------------------------------------------------
 
@@ -224,11 +277,13 @@ class VersionedStore:
         """
         if version <= 0:
             raise ValueError(f"versions are positive integers: {version}")
-        current = self._data.get(key)
-        if current is not None and version <= current.version:
+        current = self._versions.get(key)
+        if current is not None and version <= current:
             self.stale_rejections += 1
             return False
-        self._data[key] = VersionedValue(value, version, timestamp)
+        self._values[key] = value
+        self._versions[key] = version
+        self._times[key] = timestamp
         self.applied_log.append((key, version, timestamp))
         return True
 
@@ -246,10 +301,10 @@ class VersionedStore:
         return updated
 
     def __len__(self) -> int:
-        return len(self._data)
+        return len(self._versions)
 
     def __repr__(self) -> str:
-        return f"<VersionedStore keys={len(self._data)}>"
+        return f"<VersionedStore keys={len(self._versions)}>"
 
 
 @dataclass(frozen=True)

@@ -13,14 +13,26 @@ The *effective top* of a server is the first agent in its known locking
 list that is not in the UAL — stale entries of finished agents must not
 count ("Other mobile agents will then be able to change their priorities
 in their locking tables").
+
+Flat-state backing (see ``docs/architecture.md``, "Kernel internals"):
+alongside the wire-format ``views`` dict the table keeps each known
+locking list *packed* as a list of interned integer ids and the UAL as
+a flag ``bytearray`` indexed by interned id. The effective-top scan —
+the inner loop of every priority evaluation — thereby probes a byte
+slab instead of hashing ``AgentId`` dataclasses, and the top-per-host /
+tally computation is cached against a mutation counter so repeated
+``decide`` calls on an unchanged table cost one cache probe. The packed
+state is a pure index over ``views``/``ual`` (rebuilt on unpickle, never
+serialised), so the wire and replay formats are unchanged.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.agents.identity import AgentId
+from repro.core.machines.intern import Interner
 from repro.core.machines.structures import UpdatedList
 from repro.core.machines.wire import SharedView
 
@@ -40,6 +52,100 @@ class LockingTable:
         # map dominates every commit the UAL knows about — the property
         # that makes version assignment ([D3]) collision-free.
         self.max_versions: Dict[str, int] = {}
+        self._init_packed()
+
+    def _init_packed(self) -> None:
+        """Fresh flat-state index (also used on unpickle)."""
+        #: AgentId <-> dense slot; slot order is first-seen and carries
+        #: no protocol meaning (tie-breaks sort by the AgentId itself).
+        self._ids = Interner()
+        #: per host, the known locking list as interned slots, queue order
+        self._packed: Dict[str, List[int]] = {}
+        #: finished flag per slot (the UAL, flat)
+        self._done = bytearray()
+        #: bumped on every change that can move an effective top
+        self._mutations = 0
+        #: (mutations, tops host->slot|None, counts slot->n) memo
+        self._tops_cache: Optional[Tuple[int, dict, dict]] = None
+        #: single-entry memo used by priority.decide (key, core result)
+        self._decide_cache: Optional[tuple] = None
+
+    # -- pickling ----------------------------------------------------------
+
+    # The packed index is derived state: drop it from pickles (the live
+    # backend ships the table inside AgentCoreState on every migration)
+    # and rebuild on load. Slot numbering after a hop may differ from the
+    # pre-hop numbering — harmless, since slots never leave the process
+    # and never order anything.
+
+    def __getstate__(self):
+        return {
+            "views": self.views,
+            "ual": self.ual,
+            "max_versions": self.max_versions,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.views = state["views"]
+        self.ual = state["ual"]
+        self.max_versions = state["max_versions"]
+        self._init_packed()
+        for agent_id in self.ual:
+            self._finish_slot(agent_id)
+        for host, view in self.views.items():
+            self._packed[host] = self._pack(view.view)
+
+    # -- packed-index plumbing ---------------------------------------------
+
+    def _slot(self, agent_id: AgentId) -> int:
+        """Interned slot of ``agent_id``, growing the flag slab if new."""
+        slot = self._ids.intern(agent_id)
+        if slot == len(self._done):
+            self._done.append(0)
+        return slot
+
+    def _finish_slot(self, agent_id: AgentId) -> None:
+        self._done[self._slot(agent_id)] = 1
+
+    def _pack(self, view_ids) -> List[int]:
+        return [self._slot(agent_id) for agent_id in view_ids]
+
+    def _tops_slots(
+        self, extra_done: frozenset = frozenset()
+    ) -> Tuple[Dict[str, Optional[int]], Dict[int, int]]:
+        """(host -> top slot | None, slot -> top tally), memoised.
+
+        The memo only covers the ``extra_done``-free case — the per-event
+        decision path; the pipelining extension passes growing
+        ``extra_done`` sets and recomputes.
+        """
+        if not extra_done:
+            cache = self._tops_cache
+            if cache is not None and cache[0] == self._mutations:
+                return cache[1], cache[2]
+            extra = None
+        else:
+            index_of = self._ids.index_of
+            extra = {
+                slot
+                for slot in map(index_of, extra_done)
+                if slot is not None
+            }
+        done = self._done
+        tops: Dict[str, Optional[int]] = {}
+        counts: Dict[int, int] = {}
+        for host, packed in self._packed.items():
+            top = None
+            for slot in packed:
+                if not done[slot] and (extra is None or slot not in extra):
+                    top = slot
+                    break
+            tops[host] = top
+            if top is not None:
+                counts[top] = counts.get(top, 0) + 1
+        if extra is None:
+            self._tops_cache = (self._mutations, tops, counts)
+        return tops, counts
 
     # -- ingestion --------------------------------------------------------
 
@@ -49,15 +155,30 @@ class LockingTable:
         The view's ``updated`` set is always merged into the UAL (finished
         is monotone knowledge even from an older snapshot).
         Returns True if the view replaced the stored one.
+
+        This is the flattened LL/UL->LT merge: one pass marks newly
+        finished agents in both the UAL and the flag slab, one pass folds
+        the version vector, and an adopted view is interned into its
+        packed form immediately — nothing is re-materialised later.
         """
-        self.ual.merge(view.updated)
+        changed = False
+        ual_add = self.ual.add
+        for agent_id in view.updated:
+            if ual_add(agent_id):
+                self._done[self._slot(agent_id)] = 1
+                changed = True
         if view.versions:
+            max_versions = self.max_versions
             for key, version in view.versions.items():
-                if version > self.max_versions.get(key, 0):
-                    self.max_versions[key] = version
+                if version > max_versions.get(key, 0):
+                    max_versions[key] = version
         if view.is_newer_than(self.views.get(view.host)):
             self.views[view.host] = view
+            self._packed[view.host] = self._pack(view.view)
+            self._mutations += 1
             return True
+        if changed:
+            self._mutations += 1
         return False
 
     def merge_bulletin(self, views: Dict[str, SharedView]) -> int:
@@ -85,30 +206,42 @@ class LockingTable:
         ``extra_done`` treats additional agents as finished — used by the
         lock-pipelining extension to predict successive winners.
         """
-        view = self.views.get(host)
-        if view is None:
+        packed = self._packed.get(host)
+        if packed is None:
             return None
-        for agent_id in view.view:
-            if agent_id not in self.ual and agent_id not in extra_done:
-                return agent_id
+        done = self._done
+        if extra_done:
+            index_of = self._ids.index_of
+            extra = {
+                slot
+                for slot in map(index_of, extra_done)
+                if slot is not None
+            }
+            for slot in packed:
+                if not done[slot] and slot not in extra:
+                    return self._ids.value(slot)
+            return None
+        for slot in packed:
+            if not done[slot]:
+                return self._ids.value(slot)
         return None
 
     def tops(
         self, extra_done: frozenset = frozenset()
     ) -> Dict[str, Optional[AgentId]]:
         """Effective top per known host (None = empty/unknown)."""
+        tops_slots, _counts = self._tops_slots(extra_done)
+        value = self._ids.value
         return {
-            host: self.effective_top(host, extra_done)
-            for host in self.views
+            host: (None if slot is None else value(slot))
+            for host, slot in tops_slots.items()
         }
 
     def top_counts(self, extra_done: frozenset = frozenset()) -> Counter:
         """How many known servers each agent currently tops."""
-        return Counter(
-            top
-            for top in self.tops(extra_done).values()
-            if top is not None
-        )
+        _tops, counts = self._tops_slots(extra_done)
+        value = self._ids.value
+        return Counter({value(slot): n for slot, n in counts.items()})
 
     def version_ceiling(self, key: str, hosts=()) -> int:
         """Highest version of ``key`` this agent knows committed ([D3]).

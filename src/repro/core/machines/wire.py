@@ -54,6 +54,17 @@ class WriteOp:
     value: Any
     version: int
 
+    def wire_size(self) -> int:
+        # Must equal the generic structural estimate (16 + per-field
+        # sizes): message sizes feed the network latency model, so any
+        # drift here changes event timing and breaks run fingerprints.
+        from repro.net.message import estimate_size
+
+        return (
+            16 + 8 + len(self.key.encode("utf-8"))
+            + estimate_size(self.value) + 8
+        )
+
 
 @dataclass(frozen=True)
 class UpdatePayload:
@@ -78,6 +89,22 @@ class UpdatePayload:
     reply_to: str = ""
     epoch: int = 0
     trace_id: Optional[str] = None
+
+    def wire_size(self) -> int:
+        # Equals the generic structural estimate exactly (see WriteOp);
+        # cached because a broadcast ships one frozen payload N times.
+        size = self.__dict__.get("_wire_size")
+        if size is None:
+            size = (
+                16 + 8 + self.agent_id.wire_size()
+                + len(self.origin.encode("utf-8"))
+                + 16 + sum(op.wire_size() for op in self.writes)
+                + len(self.reply_to.encode("utf-8")) + 8
+                + (0 if self.trace_id is None
+                   else len(self.trace_id.encode("utf-8")))
+            )
+            object.__setattr__(self, "_wire_size", size)
+        return size
 
 
 class Transform:

@@ -15,10 +15,11 @@ from repro.core.machines.priority import (
     WIN,
     Decision,
     decide,
+    decide_reference,
     rank_queue,
 )
 
 __all__ = [
-    "Decision", "decide", "rank_queue",
+    "Decision", "decide", "decide_reference", "rank_queue",
     "WIN", "OTHER", "STALEMATE", "UNDECIDED",
 ]

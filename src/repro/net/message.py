@@ -27,9 +27,30 @@ def estimate_size(payload: Any) -> int:
     UTF-8 length for strings, recursive sum plus container overhead).
     Objects exposing ``wire_size()`` report their own size — agents use
     this to account for their carried state.
+
+    Exact builtin types are dispatched up front (they can never carry a
+    ``wire_size`` method, so this is pure reordering): the recursion
+    spends most of its time on the ints, strings and containers inside
+    ``SharedView`` payloads, and the old leading ``getattr`` probe cost
+    one failed attribute lookup per scalar.
     """
     if payload is None:
         return 0
+    cls = payload.__class__
+    if cls is int or cls is float:
+        return 8
+    if cls is str:
+        return len(payload.encode("utf-8"))
+    if cls is bool:
+        return 1
+    if cls is dict:
+        return 16 + sum(
+            estimate_size(k) + estimate_size(v) for k, v in payload.items()
+        )
+    if cls is list or cls is tuple or cls is set or cls is frozenset:
+        return 16 + sum(estimate_size(item) for item in payload)
+    if cls is bytes:
+        return len(payload)
     wire_size = getattr(payload, "wire_size", None)
     if callable(wire_size):
         return int(wire_size())

@@ -16,6 +16,7 @@ costs nothing.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = [
@@ -108,8 +109,13 @@ class Counter(_Instrument):
         """Add ``amount`` (must be >= 0) to the labelled series."""
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
+        series = self._series
+        if not labels and not self.labelnames:
+            # Unlabelled counters sit on the per-sim-event hot path.
+            series[()] = series.get((), 0.0) + amount
+            return
         key = self._key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        series[key] = series.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
         """Current count of one labelled series (0.0 if never touched)."""
@@ -132,6 +138,9 @@ class Gauge(_Instrument):
     __slots__ = ()
 
     def set(self, value: float, **labels: str) -> None:
+        if not labels and not self.labelnames:
+            self._series[()] = float(value)
+            return
         self._series[self._key(labels)] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
@@ -176,17 +185,19 @@ class Histogram(_Instrument):
         self._totals: Dict[LabelValues, int] = {}
 
     def observe(self, value: float, **labels: str) -> None:
-        key = self._key(labels)
+        if not labels and not self.labelnames:
+            key: LabelValues = ()
+        else:
+            key = self._key(labels)
         counts = self._counts.get(key)
         if counts is None:
             counts = [0] * len(self.buckets)
             self._counts[key] = counts
             self._sums[key] = 0.0
             self._totals[key] = 0
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                counts[index] += 1
-                break
+        # Buckets are sorted with a trailing +inf: binary-search the
+        # first bound >= value (== the old linear "value <= bound" scan).
+        counts[bisect_left(self.buckets, value)] += 1
         self._sums[key] += float(value)
         self._totals[key] += 1
 

@@ -11,8 +11,9 @@ at the same timestamp.
 
 from __future__ import annotations
 
-import heapq
 import time as _time
+from bisect import bisect_left as _bisect_left
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError, StopSimulation
@@ -37,11 +38,17 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # One Timeout is created per process yield — the single hottest
+        # allocation in the DES. Event.__init__ and Environment.schedule
+        # are inlined here (identical semantics, one call frame).
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        env._seq = seq = env._seq + 1
+        heappush(env._queue, (env._now + delay, NORMAL, seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self.delay!r} at {hex(id(self))}>"
@@ -134,15 +141,16 @@ class Process(Event):
         """Advance the generator with the outcome of ``event``."""
         env = self.env
         env._active_process = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # Mark the failure as handled: it is being delivered.
                     event._defused = True
                     exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as stop:
                 self._ok = True
                 self._value = stop.value
@@ -284,10 +292,8 @@ class Environment:
         """Put a triggered event on the queue ``delay`` units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay!r}")
-        self._seq += 1
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, self._seq, event)
-        )
+        self._seq = seq = self._seq + 1
+        heappush(self._queue, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -303,7 +309,7 @@ class Environment:
         """
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
+        when, _prio, _seq, event = heappop(self._queue)
         self._now = when
 
         callbacks = event.callbacks
@@ -367,8 +373,68 @@ class Environment:
             _time.perf_counter() if self._obs is not None else None
         )
         try:
-            while self._queue:
-                self.step()
+            step_attr = self.__dict__.get("step")
+            if (
+                step_attr is not None
+                and getattr(step_attr, "__func__", None)
+                is Environment._step_observed
+                and type(self).step is Environment.step
+                and type(self)._step_observed is Environment._step_observed
+            ):
+                # Observed drain: step() + _step_observed accounting
+                # inlined with the instruments' unlabelled series bound
+                # as locals. Write-through per step, so any mid-run
+                # reader sees exactly what _step_observed would produce.
+                queue = self._queue
+                ev_series = self._obs_events._series
+                q_series = self._obs_queue._series
+                hist = self._obs_queue_hist
+                buckets = hist.buckets
+                h_counts = hist._counts.get(())
+                if h_counts is None:
+                    h_counts = hist._counts[()] = [0] * len(buckets)
+                    hist._sums[()] = 0.0
+                    hist._totals[()] = 0
+                h_sums = hist._sums
+                h_totals = hist._totals
+                _bisect = _bisect_left
+                while queue:
+                    when, _prio, _seq, event = heappop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
+                    self._steps += 1
+                    ev_series[()] = ev_series.get((), 0.0) + 1.0
+                    depth = len(queue)
+                    q_series[()] = float(depth)
+                    h_counts[_bisect(buckets, depth)] += 1
+                    h_sums[()] += float(depth)
+                    h_totals[()] += 1
+            elif (
+                step_attr is not None
+                or type(self).step is not Environment.step
+            ):
+                # Instrumented or subclass-overridden step: honour it.
+                step = self.step
+                while self._queue:
+                    step()
+            else:
+                # Hot drain: step() inlined (identical body) so the
+                # common unobserved run pays no per-event call frame.
+                queue = self._queue
+                while queue:
+                    when, _prio, _seq, event = heappop(queue)
+                    self._now = when
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                    if not event._ok and not event._defused:
+                        raise event._value
         except StopSimulation as stop:
             return stop.value
         finally:

@@ -112,8 +112,9 @@ class Store:
                 else:
                     break
             # Gets are served in FIFO order, but a FilterStore get that
-            # matches nothing must not block later gets, so scan the queue.
-            remaining: Deque[StoreGet] = deque()
+            # matches nothing must not block later gets, so scan the
+            # queue (the spill deque is only built once a get blocks).
+            remaining: Optional[Deque[StoreGet]] = None
             while self._get_waiters:
                 get_event = self._get_waiters.popleft()
                 if get_event.triggered:
@@ -121,8 +122,11 @@ class Store:
                 if self._do_get(get_event):
                     progress = True
                 else:
+                    if remaining is None:
+                        remaining = deque()
                     remaining.append(get_event)
-            self._get_waiters = remaining
+            if remaining is not None:
+                self._get_waiters = remaining
 
 
 class _NoItem:

@@ -1,0 +1,373 @@
+"""Differential tests: the packed kernel data plane vs its reference.
+
+The flat-state rewrite backs ``LockingList``/``UpdatedList``/
+``LockingTable``/``VersionedStore`` with interned integer slots, packed
+per-host arrays and mutation-counter memos (``docs/architecture.md``,
+"Kernel internals"). Nothing interned ever crosses the wire, so the
+whole rewrite must be *invisible*: these tests hold the fast path to
+plain-Python models and to the retained executable specification
+``decide_reference``, and check that interning survives every
+serialisation boundary (pickle, adversary-schedule JSON) without
+leaking into observable behaviour.
+"""
+
+import pickle
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.identity import AgentId
+from repro.core.machines import (
+    Interner,
+    LockEntry,
+    LockingList,
+    LockingTable,
+    SharedView,
+    UpdatedList,
+    VersionedStore,
+    decide,
+    decide_reference,
+    rank_queue,
+)
+
+
+def aid(n: int) -> AgentId:
+    return AgentId("h", float(n), 0)
+
+
+# -- randomized table states ------------------------------------------------
+
+
+@st.composite
+def lock_tables(draw, max_hosts=7, max_agents=8):
+    """A random cluster lock state, built through the real merge path.
+
+    Unlike the simpler strategy in ``tests/properties``, this one feeds
+    *multiple* snapshots per host (some stale, some fresh) so the
+    freshest-wins adoption, the monotone UAL merge and the version-fold
+    paths are all exercised before the table under test is returned.
+    """
+    n_hosts = draw(st.integers(min_value=1, max_value=max_hosts))
+    agents = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_agents),
+            min_size=1, max_size=max_agents, unique=True,
+        )
+    )
+    table = LockingTable()
+    views = []
+    known = draw(st.integers(min_value=0, max_value=n_hosts))
+    for index in range(known):
+        snapshots = draw(st.integers(min_value=1, max_value=3))
+        for _ in range(snapshots):
+            queue = draw(
+                st.lists(st.sampled_from(agents), max_size=len(agents),
+                         unique=True)
+            )
+            finished = draw(
+                st.lists(st.sampled_from(agents), max_size=3, unique=True)
+            )
+            view = SharedView(
+                host=f"s{index + 1}",
+                as_of=float(draw(st.integers(min_value=0, max_value=4))),
+                view=tuple(aid(n) for n in queue),
+                updated=frozenset(aid(n) for n in finished),
+                versions=draw(
+                    st.dictionaries(
+                        st.sampled_from(["x", "y"]),
+                        st.integers(min_value=1, max_value=9),
+                        max_size=2,
+                    )
+                ),
+            )
+            views.append(view)
+            table.update(view)
+    extra_done = frozenset(
+        aid(n) for n in draw(
+            st.lists(st.sampled_from(agents), max_size=3, unique=True)
+        )
+    )
+    unavailable = frozenset(
+        f"s{k + 1}" for k in draw(
+            st.lists(st.integers(min_value=0, max_value=max_hosts - 1),
+                     max_size=3, unique=True)
+        )
+    )
+    return n_hosts, agents, table, views, extra_done, unavailable
+
+
+# -- decide == decide_reference ---------------------------------------------
+
+
+@given(data=lock_tables())
+@settings(max_examples=300, deadline=None)
+def test_decide_matches_reference(data):
+    """The packed/memoised rule cascade is the specification, exactly."""
+    n_hosts, agents, table, _views, extra_done, unavailable = data
+    for agent in agents:
+        fast = decide(
+            table, n_hosts, aid(agent),
+            extra_done=extra_done, unavailable=unavailable,
+        )
+        ref = decide_reference(
+            table, n_hosts, aid(agent),
+            extra_done=extra_done, unavailable=unavailable,
+        )
+        assert fast == ref
+
+
+@given(data=lock_tables())
+@settings(max_examples=150, deadline=None)
+def test_decide_memo_survives_further_mutation(data):
+    """A cached decision must be invalidated by any top-moving change."""
+    n_hosts, agents, table, _views, _extra, _unavail = data
+    decide(table, n_hosts, aid(agents[0]))  # prime the memo
+    newcomer = aid(99)
+    table.update(SharedView(
+        host="s1", as_of=99.0,
+        view=(newcomer,) + (table.view_of("s1").view if
+                            table.view_of("s1") else ()),
+        updated=frozenset(), versions={},
+    ))
+    for agent in agents:
+        assert decide(table, n_hosts, aid(agent)) == decide_reference(
+            table, n_hosts, aid(agent)
+        )
+
+
+@given(data=lock_tables())
+@settings(max_examples=100, deadline=None)
+def test_rank_queue_matches_reference_composition(data):
+    """Pipelined grant prediction agrees with the reference cascade."""
+    n_hosts, _agents, table, _views, _extra, _unavail = data
+    probe = AgentId("\x00rank-probe", float("-inf"), 0)
+    order = []
+    done = set()
+    while True:
+        decision = decide_reference(
+            table, n_hosts, probe, extra_done=frozenset(done)
+        )
+        if decision.winner is None or decision.winner in done:
+            break
+        order.append(decision.winner)
+        done.add(decision.winner)
+    assert rank_queue(table, n_hosts) == tuple(order)
+
+
+# -- interning is invisible -------------------------------------------------
+
+
+@given(data=lock_tables())
+@settings(max_examples=100, deadline=None)
+def test_pickle_round_trip_rebuilds_packed_index(data):
+    """Pickles carry only wire state; the packed index is rebuilt."""
+    n_hosts, agents, table, _views, extra_done, _unavail = data
+    clone = pickle.loads(pickle.dumps(table))
+    assert clone.views == table.views
+    assert set(clone.ual.as_set()) == set(table.ual.as_set())
+    assert clone.max_versions == table.max_versions
+    assert clone.tops(extra_done) == table.tops(extra_done)
+    assert clone.top_counts() == table.top_counts()
+    assert clone.wire_size() == table.wire_size()
+    for agent in agents:
+        assert decide(clone, n_hosts, aid(agent)) == decide(
+            table, n_hosts, aid(agent)
+        )
+
+
+@given(data=lock_tables(), seed=st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=100, deadline=None)
+def test_intern_order_never_changes_a_decision(data, seed):
+    """Feeding the same views in any order permutes intern slots but
+    must never change tops, tallies or decisions (slots are aliases,
+    never order).
+
+    Views are first deduplicated per ``(host, as_of)``: among *equal*
+    timestamps adoption is first-arrival by design, so only the
+    tie-free portion of the stream is order-independent.
+    """
+    n_hosts, agents, _table, views, _extra, _unavail = data
+    seen = set()
+    unique = []
+    for view in views:
+        stamp = (view.host, view.as_of)
+        if stamp not in seen:
+            seen.add(stamp)
+            unique.append(view)
+    table = LockingTable()
+    for view in unique:
+        table.update(view)
+    shuffled = list(unique)
+    random.Random(seed).shuffle(shuffled)
+    other = LockingTable()
+    for view in shuffled:
+        other.update(view)
+    assert other.tops() == table.tops()
+    assert other.top_counts() == table.top_counts()
+    assert other.max_versions == table.max_versions
+    for agent in agents:
+        assert decide(other, n_hosts, aid(agent)) == decide(
+            table, n_hosts, aid(agent)
+        )
+
+
+def test_interner_round_trip_and_sort_keys():
+    interner = Interner()
+    ids = [AgentId("b", 2.0, 0), AgentId("a", 2.0, 1), AgentId("a", 1.0, 0)]
+    slots = [interner.intern(agent_id) for agent_id in ids]
+    assert slots == [0, 1, 2]  # dense, first-seen order
+    assert [interner.intern(agent_id) for agent_id in ids] == slots
+    for agent_id, slot in zip(ids, slots):
+        assert interner.value(slot) == agent_id
+        assert interner.index_of(agent_id) == slot
+    # Slot order is *not* agent order: tie-breaks use the sort-key slab,
+    # which must mirror the AgentId's own total order.
+    assert min(slots, key=interner.sort_key) == 2
+    assert interner.value(min(slots, key=interner.sort_key)) == min(ids)
+    assert interner.index_of(AgentId("zz", 9.0, 9)) is None
+    assert len(interner) == 3
+
+
+# -- flat structures vs plain models ----------------------------------------
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["append", "remove", "clear"]),
+                  st.integers(min_value=0, max_value=9)),
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_locking_list_matches_model(ops):
+    ll = LockingList("s1")
+    model = []  # ordered agent ids
+    clock = 0.0
+    for op, n in ops:
+        agent_id = aid(n)
+        if op == "append":
+            if agent_id not in model:
+                clock += 1.0
+                ll.append(LockEntry(agent_id, n, clock))
+                model.append(agent_id)
+        elif op == "remove":
+            assert ll.remove(agent_id) == (agent_id in model)
+            if agent_id in model:
+                model.remove(agent_id)
+        else:
+            ll.clear()
+            model.clear()
+        assert ll.view() == tuple(model)
+        assert len(ll) == len(model)
+        assert ll.top() == (model[0] if model else None)
+        for probe in range(10):
+            expected = (model.index(aid(probe))
+                        if aid(probe) in model else None)
+            assert ll.rank(aid(probe)) == expected
+            assert (aid(probe) in ll) == (aid(probe) in model)
+
+
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("add"), st.integers(0, 9)),
+            st.tuples(st.just("merge"),
+                      st.lists(st.integers(0, 9), max_size=5)),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_updated_list_matches_model(ops):
+    ul = UpdatedList()
+    model = []  # insertion-ordered unique ids
+    for op, arg in ops:
+        if op == "add":
+            agent_id = aid(arg)
+            assert ul.add(agent_id) == (agent_id not in model)
+            if agent_id not in model:
+                model.append(agent_id)
+        else:
+            batch = [aid(n) for n in arg]
+            expected_new = len({a for a in batch if a not in model})
+            assert ul.merge(batch) == expected_new
+            for agent_id in batch:
+                if agent_id not in model:
+                    model.append(agent_id)
+        assert ul.ids() == tuple(model)
+        assert ul.as_set() == frozenset(model)
+        assert list(ul) == model
+        assert len(ul) == len(model)
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.sampled_from(["x", "y", "z"]),
+            st.integers(min_value=1, max_value=9),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_versioned_store_matches_model(writes):
+    store = VersionedStore()
+    model = {}  # key -> (value, version, time)
+    applied = []
+    stale = 0
+    clock = 0.0
+    for key, version in writes:
+        clock += 1.0
+        value = f"{key}-v{version}"
+        expect_apply = version > model.get(key, (None, 0, 0.0))[1]
+        assert store.apply(key, value, version, clock) == expect_apply
+        if expect_apply:
+            model[key] = (value, version, clock)
+            applied.append((key, version, clock))
+        else:
+            stale += 1
+        assert store.version_of(key) == model.get(key, (None, 0, 0.0))[1]
+    assert store.version_vector() == {
+        key: version for key, (_v, version, _t) in model.items()
+    }
+    assert store.keys() == sorted(model)
+    assert store.applied_log == applied
+    assert store.stale_rejections == stale
+    assert len(store) == len(model)
+    for key, (value, version, when) in model.items():
+        versioned = store.read(key)
+        assert (versioned.value, versioned.version, versioned.updated_at) \
+            == (value, version, when)
+    snapshot = store.snapshot()
+    assert {
+        key: (vv.value, vv.version, vv.updated_at)
+        for key, vv in snapshot.items()
+    } == model
+    assert store.read("never-written") is None
+    assert store.last_update_time("never-written") == float("-inf")
+
+
+# -- the adversary JSON boundary --------------------------------------------
+
+
+def test_schedule_json_round_trip_reaches_identical_outcomes():
+    """A corpus schedule re-serialised through JSON drives the packed
+    kernel to byte-identical outcomes (interning never leaks into the
+    replay format)."""
+    import pathlib
+
+    from repro.core.machines import Schedule, check_schedule
+
+    corpus = sorted(
+        (pathlib.Path(__file__).parent / "corpus").glob("*.json")
+    )
+    assert corpus
+    for path in corpus[:3]:
+        schedule = Schedule.load(str(path))
+        reloaded = Schedule.from_json(schedule.to_json())
+        first = check_schedule(schedule)
+        second = check_schedule(reloaded)
+        assert first.statuses == second.statuses
+        assert first.chains == second.chains
+        assert first.events == second.events
