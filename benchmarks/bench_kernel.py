@@ -150,6 +150,32 @@ def test_event_enqueue_dequeue_throughput(benchmark):
 
 
 @pytest.mark.benchmark(group="kernel")
+def test_packed_priority_schedule_throughput(benchmark):
+    """The packed heap entry under mixed priorities: scheduling folds
+    ``(priority, seq)`` into one int key, so the heap compares 3-tuples
+    of scalars instead of the old 4-tuples — this pins the win and the
+    ordering contract (priority beats insertion order at equal time)."""
+
+    from repro.sim.core import URGENT
+
+    def churn():
+        env = Environment()
+        fired = []
+        append = fired.append
+        for index in range(1500):
+            if index % 3 == 0:  # a third through the urgent tier
+                event = env.event()
+                event.callbacks.append(append)
+                env.schedule(event, float(index % 11), priority=URGENT)
+            else:
+                env.timeout(float(index % 11)).callbacks.append(append)
+        env.run()
+        return len(fired)
+
+    assert benchmark(churn) == 1500
+
+
+@pytest.mark.benchmark(group="kernel")
 def test_end_to_end_run_throughput(benchmark):
     config = RunConfig(
         n_replicas=5, seed=0, mean_interarrival=50.0,

@@ -1,0 +1,157 @@
+"""CI scale-smoke: the million-request data plane at 100k requests.
+
+Three checks under explicit budgets, each in its own subprocess so
+``ru_maxrss`` measures that run alone:
+
+1. **Bulk streaming run** — a 100k-request Zipf scenario (the canonical
+   ``scale_config``: 5 replicas x 20k requests, 256 keys, skew 0.99,
+   vectorized workload, hygiene windows) must finish consistent within
+   the wall-clock and peak-RSS budgets below. This is the shape of the
+   acceptance 1M run at a CI-compatible size; throughput is linear in
+   request count past ~10k, so a 100k pass predicts the 1M behaviour.
+2. **Memory ratio** — the same scenario with ``streaming=False``
+   (full-record accounting) must cost at least
+   :data:`MIN_MEMORY_RATIO` x more *incremental* memory (RSS over an
+   interpreter/workload-free baseline child) than the streaming run:
+   streaming accounting is O(1) in request count, full-record is O(N).
+3. **Saturation artifact** — a miniature ``run_scale`` sweep (MARP vs
+   a quorum baseline) writes the ``repro-scale/v1`` saturation-curve
+   JSON that CI uploads as an artifact, and sanity-checks its schema.
+
+Runs standalone (``python benchmarks/bench_scale_smoke.py [OUT.json]``)
+and under pytest. Budgets are generous vs the measured values (locally
+the bulk run takes ~2 min and ~130 MB) to absorb shared-runner noise
+without letting a quadratic regression through: the pre-hygiene data
+plane blew the wall budget at this size by an order of magnitude.
+"""
+
+import json
+import resource
+import subprocess
+import sys
+import time
+
+#: wall-clock budget (s) for the 100k-request streaming run.
+WALL_BUDGET_S = 900.0
+#: peak-RSS budget (MB) for the 100k-request streaming run.
+RSS_BUDGET_MB = 500.0
+#: full-record accounting must cost at least this many times the
+#: streaming run's incremental memory at 100k requests.
+MIN_MEMORY_RATIO = 5.0
+
+REQUESTS_PER_CLIENT = 20_000  # x5 replicas = 100k requests
+SMOKE_PROTOCOL = "primary-copy"  # the fast bulk plane; MARP-rate runs
+                                 # of this size belong to `repro scale`
+
+_CHILD = """\
+import json
+import resource
+import sys
+
+from repro.experiments.runner import run_once
+from repro.experiments.scale import ScaleVariant, scale_config
+
+streaming = sys.argv[1] == "1"
+requests = int(sys.argv[2])
+config = scale_config(
+    "%s",
+    ScaleVariant(label="smoke", n_keys=256, key_skew=0.99),
+    100.0,
+    requests,
+    seed=3,
+)
+if not streaming:
+    config = config.with_(streaming=False)
+result = run_once(config)
+print(json.dumps({
+    "committed": result.committed,
+    "consistent": result.audit.consistent,
+    "att_p99": result.att_p99,
+    "rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+}))
+""" % SMOKE_PROTOCOL
+
+
+def _child_run(streaming: bool, requests: int):
+    """One isolated run; returns (doc, wall_seconds)."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, "1" if streaming else "0",
+         str(requests)],
+        capture_output=True, text=True,
+    )
+    wall = time.perf_counter() - start
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"smoke child failed: {proc.stderr.strip()[-800:]}"
+        )
+    return json.loads(proc.stdout.strip().splitlines()[-1]), wall
+
+
+def test_bulk_streaming_run_within_budgets():
+    doc, wall = _child_run(True, REQUESTS_PER_CLIENT)
+    print(f"bulk streaming 100k: wall {wall:.1f}s "
+          f"rss {doc['rss_mb']:.1f}MB p99 {doc['att_p99']:.1f}ms")
+    assert doc["committed"] == REQUESTS_PER_CLIENT * 5
+    assert doc["consistent"]
+    assert wall < WALL_BUDGET_S, f"wall {wall:.1f}s over {WALL_BUDGET_S}s"
+    assert doc["rss_mb"] < RSS_BUDGET_MB, (
+        f"peak RSS {doc['rss_mb']:.1f}MB over {RSS_BUDGET_MB}MB"
+    )
+
+
+def test_streaming_memory_at_least_5x_below_full_record():
+    base, _ = _child_run(True, 10)  # interpreter + imports floor
+    stream, _ = _child_run(True, REQUESTS_PER_CLIENT)
+    full, _ = _child_run(False, REQUESTS_PER_CLIENT)
+    stream_mb = max(stream["rss_mb"] - base["rss_mb"], 1.0)
+    full_mb = full["rss_mb"] - base["rss_mb"]
+    ratio = full_mb / stream_mb
+    print(f"incremental RSS: streaming {stream_mb:.1f}MB, "
+          f"full-record {full_mb:.1f}MB ({ratio:.1f}x)")
+    assert stream["committed"] == full["committed"]
+    assert ratio >= MIN_MEMORY_RATIO, (
+        f"full-record/streaming memory ratio {ratio:.1f}x "
+        f"< {MIN_MEMORY_RATIO}x"
+    )
+
+
+def test_saturation_artifact(out_path="output/scale_smoke.json"):
+    from repro.experiments.scale import (
+        QUICK_INTERARRIVALS, ScaleVariant, run_scale,
+    )
+
+    family = run_scale(
+        protocols=("marp", "mcv"),
+        interarrivals=QUICK_INTERARRIVALS,
+        variants=[ScaleVariant(label="smoke", n_keys=16, key_skew=0.99)],
+        requests_per_client=30,
+        seed=7,
+    )
+    doc = family.payload()
+    assert doc["schema"] == "repro-scale/v1"
+    assert {c["protocol"] for c in doc["curves"]} == {"marp", "mcv"}
+    for curve in doc["curves"]:
+        assert len(curve["points"]) == len(QUICK_INTERARRIVALS)
+        assert all(p["consistent"] for p in curve["points"])
+    import os
+
+    os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote saturation artifact: {out_path}")
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "output/scale_smoke.json"
+    test_bulk_streaming_run_within_budgets()
+    test_streaming_memory_at_least_5x_below_full_record()
+    test_saturation_artifact(out_path)
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    print(f"scale smoke OK (driver RSS {rss:.1f}MB)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

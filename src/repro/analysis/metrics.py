@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.analysis.stats import P2Quantile, Welford
 from repro.replication.requests import RequestRecord
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "visit_counts",
     "response_times",
     "throughput",
+    "StreamingMetrics",
 ]
 
 
@@ -115,3 +117,114 @@ def throughput(records: Iterable[RequestRecord]) -> float:
     if span_ms <= 0:
         return 0.0
     return (len(commits) - 1) / (span_ms / 1000.0)
+
+
+class StreamingMetrics:
+    """O(1)-memory accumulator over terminal :class:`RequestRecord`\\ s.
+
+    The streaming counterpart of the batch functions above: feed every
+    record exactly once when it reaches a terminal status (the protocol
+    sweep does this) and read the same metrics without ever holding the
+    record list. Exactness contract, pinned by the parity tests:
+
+    * :meth:`alt` / :meth:`att` / mean response time — exact (Welford);
+    * :meth:`prk` / counts / :meth:`throughput` — exact (counters and
+      the identical ``(n-1)/span`` formula);
+    * ATT / response-time p50 and p99 — P² estimates, within the
+      documented error bounds of the batch percentiles.
+    """
+
+    def __init__(self) -> None:
+        self._alt = Welford()
+        self._att = Welford()
+        self._response = Welford()
+        self.att_p50 = P2Quantile(0.5)
+        self.att_p99 = P2Quantile(0.99)
+        self.response_p50 = P2Quantile(0.5)
+        self.response_p99 = P2Quantile(0.99)
+        self._visit_counts: Dict[int, int] = {}
+        self.observed = 0
+        self.committed = 0
+        self.failed = 0
+        self.reads_done = 0
+        self._first_commit_at = float("inf")
+        self._last_commit_at = float("-inf")
+
+    def observe(self, record: RequestRecord) -> None:
+        """Fold one *terminal* record into the accumulators."""
+        self.observed += 1
+        status = record.status
+        if status == "failed":
+            self.failed += 1
+            return
+        if status == "read-done":
+            self.reads_done += 1
+            response = record.response_time
+            if response is not None:
+                self._response.observe(response)
+                self.response_p50.observe(response)
+                self.response_p99.observe(response)
+            return
+        if status != "committed" or not record.is_write:
+            return
+        self.committed += 1
+        lock_time = record.lock_time
+        if lock_time is not None:
+            self._alt.observe(lock_time)
+        total_time = record.total_time
+        if total_time is not None:
+            self._att.observe(total_time)
+            self.att_p50.observe(total_time)
+            self.att_p99.observe(total_time)
+        response = record.response_time
+        if response is not None:
+            self._response.observe(response)
+            self.response_p50.observe(response)
+            self.response_p99.observe(response)
+        visits = record.visits_to_lock
+        if visits is not None:
+            self._visit_counts[visits] = self._visit_counts.get(visits, 0) + 1
+        completed_at = record.completed_at
+        if completed_at is not None:
+            if completed_at < self._first_commit_at:
+                self._first_commit_at = completed_at
+            if completed_at > self._last_commit_at:
+                self._last_commit_at = completed_at
+
+    # -- the paper's metrics, streaming form ---------------------------
+
+    def alt(self) -> float:
+        return self._alt.result()
+
+    def att(self) -> float:
+        return self._att.result()
+
+    def response_mean(self) -> float:
+        return self._response.result()
+
+    def prk(self, n_replicas: Optional[int] = None) -> Dict[int, float]:
+        out: Dict[int, float] = {}
+        if n_replicas is not None:
+            for k in range(n_replicas // 2 + 1, n_replicas + 1):
+                out[k] = 0.0
+        total = sum(self._visit_counts.values())
+        if total == 0:
+            return out
+        for visits in sorted(self._visit_counts):
+            out[int(visits)] = self._visit_counts[visits] / total
+        return out
+
+    def throughput(self) -> float:
+        """Committed updates per second (same formula as the batch fn)."""
+        if self.committed < 2:
+            return 0.0
+        span_ms = self._last_commit_at - self._first_commit_at
+        if span_ms <= 0:
+            return 0.0
+        return (self.committed - 1) / (span_ms / 1000.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamingMetrics observed={self.observed} "
+            f"committed={self.committed} failed={self.failed}>"
+        )

@@ -56,7 +56,8 @@ def build_parser() -> argparse.ArgumentParser:
         "command",
         choices=[
             "fig2", "fig3", "fig4", "compare", "wan", "theorems",
-            "ablations", "scale", "availability", "throughput", "live",
+            "ablations", "scale", "scalability", "availability",
+            "throughput", "live",
             "obs", "bench", "adversary", "all",
         ],
         help="which experiment to regenerate",
@@ -127,9 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "--bench-suite", choices=["kernel", "parallel", "live", "all"],
+        "--bench-suite",
+        choices=["kernel", "parallel", "live", "scale", "all"],
         default="all",
         help="with the bench command: which scenario suite(s) to run",
+    )
+    parser.add_argument(
+        "--scale-out", metavar="FILE.json", default=None,
+        help=(
+            "with the scale command: also write the saturation curves "
+            "as a JSON document (the CI scale-smoke artifact)"
+        ),
     )
     parser.add_argument(
         "--out-dir", metavar="DIR", default=".",
@@ -285,6 +294,39 @@ def _ablations(args) -> List[str]:
 
 
 def _scale(args) -> List[str]:
+    import json
+
+    from repro.experiments import run_scale
+    from repro.experiments.scale import (
+        DEFAULT_INTERARRIVALS,
+        QUICK_INTERARRIVALS,
+        default_variants,
+    )
+
+    family = run_scale(
+        interarrivals=(
+            QUICK_INTERARRIVALS if args.quick else DEFAULT_INTERARRIVALS
+        ),
+        variants=(
+            default_variants(replica_counts=(), key_counts=(),
+                             skews=(0.99,), wan=False)
+            if args.quick else None
+        ),
+        requests_per_client=(
+            min(args.requests, 40) if args.quick else args.requests
+        ),
+        repeats=1 if args.quick else args.repeats,
+        seed=args.seed,
+    )
+    sections = [family.text]
+    if args.scale_out:
+        with open(args.scale_out, "w", encoding="utf-8") as handle:
+            json.dump(family.payload(), handle, indent=2, sort_keys=True)
+        sections.append(f"saturation curves written to {args.scale_out}")
+    return sections
+
+
+def _scalability(args) -> List[str]:
     from repro.experiments import run_scalability
 
     table = run_scalability(
@@ -595,6 +637,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             sections += _ablations(args)
         if command in ("scale", "all"):
             sections += _scale(args)
+        if command in ("scalability", "all"):
+            sections += _scalability(args)
         if command in ("availability", "all"):
             sections += _availability(args)
         if command in ("throughput", "all"):

@@ -73,7 +73,9 @@ class ReplicaMachine:
 
         self.store = VersionedStore()
         self.locking_list = LockingList(host)
-        self.updated_list = UpdatedList()
+        self.updated_list = UpdatedList(
+            retention=getattr(tunables, "ul_retention", None)
+        )
         self.history = HistoryLog(host)
         self.bulletin: Dict[str, SharedView] = {}
         self.pending_updates: Dict[int, UpdatePayload] = {}
@@ -165,6 +167,7 @@ class ReplicaMachine:
 
     def lock_view(self, now: float) -> SharedView:
         """Fresh snapshot of this server's lock state."""
+        self.updated_list.prune(now)
         return SharedView(
             host=self.host,
             as_of=now,
@@ -222,7 +225,7 @@ class ReplicaMachine:
         if kind == "COMMIT":
             return self._on_commit(payload, now)
         if kind == "ABORT":
-            return self._on_abort(payload)
+            return self._on_abort(payload, now)
         if kind == "RELEASE":
             return self._on_release(payload)
         if kind == "SYNC_REQUEST":
@@ -333,17 +336,17 @@ class ReplicaMachine:
         # Locks from this agent are removed regardless of staleness.
         self.release_grant(payload.agent_id)
         self.locking_list.remove(payload.agent_id)
-        self.updated_list.add(payload.agent_id)
+        self.updated_list.add(payload.agent_id, at=now)
         effects.append(QueueChanged())
         effects.append(ReleaseNotify())
         return effects
 
-    def _on_abort(self, payload: UpdatePayload) -> List[Effect]:
+    def _on_abort(self, payload: UpdatePayload, now: float) -> List[Effect]:
         """An agent gave up on its request entirely: forget it."""
         self.pending_updates.pop(payload.batch_id, None)
         self.release_grant(payload.agent_id)
         self.locking_list.remove(payload.agent_id)
-        self.updated_list.add(payload.agent_id)
+        self.updated_list.add(payload.agent_id, at=now)
         return [QueueChanged(), ReleaseNotify()]
 
     def _on_release(self, payload: UpdatePayload) -> List[Effect]:
@@ -369,7 +372,7 @@ class ReplicaMachine:
         self, payload: Dict[str, Any], src: str, now: float
     ) -> List[Effect]:
         self.store.install_snapshot(payload["snapshot"], now)
-        self.updated_list.merge(payload["updated"])
+        self.updated_list.merge(payload["updated"], at=now)
         self.recoveries += 1
         # Stale lock entries from agents that finished while we were down
         # would wedge our LL top forever; clear them.

@@ -22,8 +22,9 @@ these names unchanged.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.errors import ProtocolError
 from repro.agents.identity import AgentId
@@ -139,45 +140,90 @@ class UpdatedList:
     Merging ULs across servers yields an agent's Updated Agents List
     (UAL) — agents known to have finished, whose (possibly stale) lock
     entries can be disregarded.
+
+    Retention
+    ---------
+    The paper keeps the UL forever, which is what the default
+    (``retention=None``) does — and what every conformance scenario and
+    fingerprint pins. Long runs cannot afford that: the UL is carried in
+    every ``SharedView`` and merged into every visiting agent's Locking
+    Table, so an unbounded UL makes per-event cost *and* memory grow
+    with total completed agents (quadratic wall time over a run). With
+    ``retention=r`` set, entries older than ``now - r`` are pruned.
+
+    Pruning is safe but not free: the UAL is an optimisation that lets
+    deciders disregard stale LL entries of completed agents. A pruned id
+    can at worst make a decider treat such a stale entry as live again
+    and wait for the grant TTL / park refresh to clear it — a bounded
+    liveness cost, never a safety violation, because write exclusivity
+    is enforced by the server-side update grant, not the UAL. Under
+    fault-free operation a RELEASE removes the LL entry within one
+    message delay of completion, so any retention comfortably above the
+    RTT + grant TTL window makes the pruned-but-still-queued case
+    vanishingly rare.
     """
 
-    def __init__(self) -> None:
-        self._order: List[AgentId] = []
+    def __init__(self, retention: Optional[float] = None) -> None:
+        #: (agent_id, completed_at) in nondecreasing completion time.
+        self._entries: Deque[Tuple[AgentId, float]] = deque()
         self._members: set = set()
         self._frozen: Optional[frozenset] = None
+        self.retention = retention
+        self.pruned_total = 0
 
     def __len__(self) -> int:
-        return len(self._order)
+        return len(self._entries)
 
     def __contains__(self, agent_id: AgentId) -> bool:
         return agent_id in self._members
 
-    def add(self, agent_id: AgentId) -> bool:
+    def add(self, agent_id: AgentId, at: float = 0.0) -> bool:
         """Record a completed agent. True if newly added."""
         if agent_id in self._members:
             return False
         self._members.add(agent_id)
-        self._order.append(agent_id)
+        self._entries.append((agent_id, at))
         self._frozen = None
         return True
 
-    def merge(self, other_ids) -> int:
+    def merge(self, other_ids, at: float = 0.0) -> int:
         """Union in another UL/UAL; returns number of new entries."""
         members = self._members
-        order = self._order
+        entries = self._entries
         added = 0
         for agent_id in other_ids:
             if agent_id not in members:
                 members.add(agent_id)
-                order.append(agent_id)
+                entries.append((agent_id, at))
                 added += 1
         if added:
             self._frozen = None
         return added
 
+    def prune(self, now: float) -> int:
+        """Drop entries older than the retention window (no-op when
+        ``retention`` is None). Returns the number pruned."""
+        retention = self.retention
+        if retention is None:
+            return 0
+        entries = self._entries
+        if not entries:
+            return 0
+        cutoff = now - retention
+        members = self._members
+        dropped = 0
+        while entries and entries[0][1] < cutoff:
+            agent_id, _ = entries.popleft()
+            members.discard(agent_id)
+            dropped += 1
+        if dropped:
+            self._frozen = None
+            self.pruned_total += dropped
+        return dropped
+
     def ids(self) -> Tuple[AgentId, ...]:
         """Completion order as an immutable tuple."""
-        return tuple(self._order)
+        return tuple(agent_id for agent_id, _ in self._entries)
 
     def as_set(self) -> frozenset:
         """Frozen membership snapshot (cached between mutations — one
@@ -189,10 +235,10 @@ class UpdatedList:
         return cached
 
     def __iter__(self):
-        return iter(self._order)
+        return iter(agent_id for agent_id, _ in self._entries)
 
     def __repr__(self) -> str:
-        return f"<UpdatedList n={len(self._order)}>"
+        return f"<UpdatedList n={len(self._entries)}>"
 
 
 @dataclass(frozen=True)
@@ -231,6 +277,19 @@ class VersionedStore:
         #: versions applied, in application order, per key (for audits)
         self.applied_log: List[Tuple[str, int, float]] = []
         self.stale_rejections = 0
+
+    def bound_applied_log(self, maxlen: int = 1024) -> None:
+        """Swap the applied log for a bounded ring buffer.
+
+        No protocol logic reads the log — it exists for audits and
+        tests that inspect application order — but it grows by one
+        entry per applied write, which dominates peak memory on
+        million-request streaming runs (~100 B x writes x replicas).
+        Streaming accounting calls this at enable time so per-host
+        state stays O(1) in run length; ``apply`` keeps appending and
+        the deque discards the oldest entries.
+        """
+        self.applied_log = deque(self.applied_log, maxlen=maxlen)
 
     # -- reads --------------------------------------------------------------
 
@@ -324,21 +383,55 @@ class CommitRecord:
 
 
 class HistoryLog:
-    """Append-only commit log of a single replica."""
+    """Append-only commit log of a single replica.
+
+    Default mode retains every :class:`CommitRecord` for post-run
+    audits. Streaming runs instead call :meth:`stream_to` with a sink
+    (e.g. a rolling chain digest): commits are forwarded as appended and
+    *not* retained, so a replica's memory stays O(1) in run length. The
+    count, time-order guard and :meth:`last` keep working either way.
+    """
 
     def __init__(self, host: str) -> None:
         self.host = host
         self._records: List[CommitRecord] = []
+        self._sink: Optional[Callable[[CommitRecord], None]] = None
+        self._last: Optional[CommitRecord] = None
+        self._count = 0
+
+    def stream_to(self, sink: Callable[[CommitRecord], None]) -> None:
+        """Forward commits to ``sink`` instead of retaining them.
+
+        Must be enabled before the first append (the already-retained
+        prefix would otherwise be invisible to the sink).
+        """
+        if self._count:
+            raise ProtocolError(
+                f"history at {self.host} already holds {self._count} "
+                "records; stream_to must be enabled before the first append"
+            )
+        self._sink = sink
+
+    @property
+    def streaming(self) -> bool:
+        return self._sink is not None
 
     def append(self, record: CommitRecord) -> None:
-        if self._records and record.committed_at < self._records[-1].committed_at:
+        last = self._last
+        if last is not None and record.committed_at < last.committed_at:
             raise ValueError(
                 f"history at {self.host} must be appended in time order"
             )
+        self._last = record
+        self._count += 1
+        sink = self._sink
+        if sink is not None:
+            sink(record)
+            return
         self._records.append(record)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._count
 
     def __iter__(self):
         return iter(self._records)
@@ -355,7 +448,7 @@ class HistoryLog:
         return [r.version for r in self._records if r.key == key]
 
     def last(self) -> Optional[CommitRecord]:
-        return self._records[-1] if self._records else None
+        return self._last
 
     def __repr__(self) -> str:
-        return f"<HistoryLog {self.host!r} commits={len(self._records)}>"
+        return f"<HistoryLog {self.host!r} commits={self._count}>"

@@ -26,6 +26,14 @@ from repro.experiments.parallel import (
     set_default_runner,
 )
 from repro.experiments.scalability import ScalabilityTable, run_scalability
+from repro.experiments.scale import (
+    ScaleCurve,
+    ScaleFamily,
+    ScalePoint,
+    ScaleVariant,
+    default_variants,
+    run_scale,
+)
 from repro.experiments.throughput import ThroughputTable, run_throughput
 from repro.experiments.fig2_alt import project_fig2, run_fig2
 from repro.experiments.fig3_att import project_fig3, run_fig3
@@ -82,6 +90,12 @@ __all__ = [
     "AblationTable",
     "run_scalability",
     "ScalabilityTable",
+    "run_scale",
+    "default_variants",
+    "ScaleFamily",
+    "ScaleCurve",
+    "ScalePoint",
+    "ScaleVariant",
     "run_availability",
     "AvailabilityTable",
     "run_throughput",

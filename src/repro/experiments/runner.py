@@ -12,9 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import ExperimentError
-from repro.analysis.consistency import AuditReport, audit, commit_slots
-from repro.analysis.metrics import alt, att, prk, throughput
+from repro.analysis.consistency import (
+    AuditReport, ChainDigest, audit, commit_slots, streaming_audit,
+)
+from repro.analysis.metrics import StreamingMetrics, alt, att, prk, throughput
 from repro.baselines import PROTOCOLS
 from repro.core.config import MARPConfig
 from repro.core.protocol import MARP
@@ -23,7 +27,7 @@ from repro.net.latency import lan_profile, wan_profile
 from repro.net.topology import Topology
 from repro.replication.client import attach_clients
 from repro.replication.deployment import Deployment
-from repro.replication.requests import RequestRecord
+from repro.replication.requests import RequestRecord, new_request_id
 from repro.replication.server import ReplicaConfig
 from repro.sim.rng import RandomStreams, spawn_seed
 from repro.workload.arrivals import ExponentialArrivals
@@ -74,6 +78,28 @@ class RunConfig:
     # through process-pool workers and the result cache, neither of
     # which can carry the live deployment.
     audit_exclude: Tuple[str, ...] = ()
+    # -- million-request data plane (all defaults preserve the classic
+    # run byte-for-byte; config_payload omits them at default values so
+    # existing fingerprints and bench baselines are unchanged) ---------
+    #: Streaming accounting: terminal records sweep into constant-memory
+    #: reservoirs (Welford/P²) and rolling chain digests instead of
+    #: accumulating; RunResult.records comes back empty.
+    streaming: bool = False
+    #: Zipf skew over the key population (0 = uniform).
+    key_skew: float = 0.0
+    #: Generate a synthetic key population k0..k{n-1} (overrides `keys`).
+    n_keys: Optional[int] = None
+    #: Vectorized workload generation: pre-draw this many gaps/ops/keys
+    #: per batch from per-field streams (None = scalar draws on the
+    #: classic interleaved stream).
+    workload_chunk: Optional[int] = None
+    #: Updated-List retention window in ms (None = paper semantics).
+    ul_retention: Optional[float] = None
+    #: Network inbox hygiene window in ms: delivered messages unclaimed
+    #: for longer are reaped (dead claim-round replies otherwise
+    #: accumulate without bound and make long runs quadratic). None =
+    #: keep everything, the exact historical semantics.
+    inbox_ttl: Optional[float] = None
 
     def with_(self, **changes) -> "RunConfig":
         """A modified copy (convenience for sweeps)."""
@@ -108,6 +134,13 @@ class RunResult:
     commit_slots: Tuple[Tuple[str, int, int, str], ...] = ()
     #: audit without ``config.audit_exclude`` hosts (None if unset)
     audit_excluded: Optional[AuditReport] = None
+    #: ATT percentiles: exact (numpy) in full-record mode, P² estimates
+    #: in streaming mode.
+    att_p50: float = float("nan")
+    att_p99: float = float("nan")
+    #: streaming runs: (host, whole-history chain digest) per replica —
+    #: plain data, so streaming determinism checks survive pickling.
+    chain_digests: Tuple[Tuple[str, str], ...] = ()
 
     def audit_excluding(self, exclude) -> AuditReport:
         """Re-audit without the named hosts (e.g. permanently crashed).
@@ -150,6 +183,7 @@ def _build_deployment(config: RunConfig) -> Deployment:
         agent_service_time=config.agent_service_time,
         update_apply_time=config.update_apply_time,
         enable_bulletin=config.enable_bulletin,
+        ul_retention=config.ul_retention,
     )
     topology = None
     if config.topology == "random-costs":
@@ -165,6 +199,7 @@ def _build_deployment(config: RunConfig) -> Deployment:
         topology=topology,
         faults=config.faults,
         replica_config=replica_config,
+        inbox_ttl=config.inbox_ttl,
     )
 
 
@@ -205,43 +240,120 @@ def run_once(config: RunConfig) -> RunResult:
             seed=config.seed, latency=config.latency,
             mean_interarrival=config.mean_interarrival,
         )
+    streaming = config.streaming
+    stream_metrics: Optional[StreamingMetrics] = None
+    digests: Dict[str, ChainDigest] = {}
+    if streaming:
+        stream_metrics = StreamingMetrics()
+        # Request ids come from a process-global counter; burn one to
+        # learn the run's first id so the rolling digests fold
+        # *run-relative* ids and stay process-independent (the same
+        # normalisation result_payload applies to stored records).
+        id_base = new_request_id() + 1
+        for host in deployment.hosts:
+            server = deployment.server(host)
+            digest = ChainDigest(host, id_base=id_base)
+            digests[host] = digest
+            server.history.stream_to(digest)
+            # The per-store applied log is the last O(requests) retainer
+            # in streaming mode; no audit path reads it here.
+            server.store.bound_applied_log()
+        protocol.enable_streaming(stream_metrics.observe)
+
+    keys = config.keys
+    if config.n_keys is not None:
+        keys = tuple(f"k{index}" for index in range(config.n_keys))
     attach_clients(
         protocol,
         ExponentialArrivals(config.mean_interarrival),
         OperationMix(
-            write_fraction=config.write_fraction, keys=list(config.keys)
+            write_fraction=config.write_fraction,
+            keys=list(keys),
+            key_skew=config.key_skew,
         ),
         max_requests_per_client=config.requests_per_client,
+        chunk=config.workload_chunk,
+        keep_records=not streaming,
     )
     deployment.run(until=config.horizon)
 
-    records = protocol.records
     stats = deployment.network.stats
-    result = RunResult(
-        config=config,
-        protocol_name=protocol.name,
-        records=records,
-        committed=sum(1 for r in records if r.status == "committed"),
-        failed=sum(1 for r in records if r.status == "failed"),
-        open=protocol.open_requests(),
-        alt=alt(records),
-        att=att(records),
-        prk=prk(records, config.n_replicas),
-        throughput=throughput(records),
-        control_messages=stats.total_messages("control"),
-        control_bytes=stats.total_bytes("control"),
-        agent_migrations=stats.total_messages("agent"),
-        agent_bytes=stats.total_bytes("agent"),
-        dropped=stats.total_dropped(),
-        audit=audit(deployment),
-        sim_time=deployment.env.now,
-        deployment=deployment,
-        commit_slots=commit_slots(deployment),
-        audit_excluded=(
-            audit(deployment, exclude=config.audit_exclude)
-            if config.audit_exclude else None
-        ),
-    )
+    if streaming:
+        still_open = protocol.finalize_streaming()
+        result = RunResult(
+            config=config,
+            protocol_name=protocol.name,
+            records=[],
+            committed=stream_metrics.committed,
+            failed=stream_metrics.failed,
+            open=still_open,
+            alt=stream_metrics.alt(),
+            att=stream_metrics.att(),
+            prk=stream_metrics.prk(config.n_replicas),
+            throughput=stream_metrics.throughput(),
+            control_messages=stats.total_messages("control"),
+            control_bytes=stats.total_bytes("control"),
+            agent_migrations=stats.total_messages("agent"),
+            agent_bytes=stats.total_bytes("agent"),
+            dropped=stats.total_dropped(),
+            audit=streaming_audit(deployment, digests),
+            sim_time=deployment.env.now,
+            deployment=deployment,
+            commit_slots=(),
+            audit_excluded=(
+                streaming_audit(
+                    deployment, digests, exclude=config.audit_exclude
+                )
+                if config.audit_exclude else None
+            ),
+            att_p50=stream_metrics.att_p50.result(),
+            att_p99=stream_metrics.att_p99.result(),
+            chain_digests=tuple(
+                (host, digests[host].whole_digest())
+                for host in deployment.hosts
+            ),
+        )
+    else:
+        records = protocol.records
+        total_times = [
+            r.total_time
+            for r in records
+            if r.is_write and r.status == "committed"
+            and r.total_time is not None
+        ]
+        result = RunResult(
+            config=config,
+            protocol_name=protocol.name,
+            records=records,
+            committed=sum(1 for r in records if r.status == "committed"),
+            failed=sum(1 for r in records if r.status == "failed"),
+            open=protocol.open_requests(),
+            alt=alt(records),
+            att=att(records),
+            prk=prk(records, config.n_replicas),
+            throughput=throughput(records),
+            control_messages=stats.total_messages("control"),
+            control_bytes=stats.total_bytes("control"),
+            agent_migrations=stats.total_messages("agent"),
+            agent_bytes=stats.total_bytes("agent"),
+            dropped=stats.total_dropped(),
+            audit=audit(deployment),
+            sim_time=deployment.env.now,
+            deployment=deployment,
+            commit_slots=commit_slots(deployment),
+            audit_excluded=(
+                audit(deployment, exclude=config.audit_exclude)
+                if config.audit_exclude else None
+            ),
+            att_p50=(
+                float(np.percentile(total_times, 50))
+                if total_times else float("nan")
+            ),
+            att_p99=(
+                float(np.percentile(total_times, 99))
+                if total_times else float("nan")
+            ),
+        )
     if hub is not None:
         labels = {"protocol": result.protocol_name}
         hub.counter(

@@ -20,6 +20,7 @@ receive with ``yield endpoint.receive(kind="ACK")``.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.errors import MigrationError, NetworkError
@@ -38,10 +39,50 @@ __all__ = ["Network", "Endpoint"]
 class Endpoint:
     """A host's attachment point: inbox plus convenience senders."""
 
+    #: Don't bother reaping inboxes shorter than this.
+    REAP_MIN_BACKLOG = 32
+
     def __init__(self, network: "Network", host: str) -> None:
         self.network = network
         self.host = host
         self.inbox: FilterStore = FilterStore(network.env)
+        #: expired messages dropped by inbox hygiene (see maybe_reap)
+        self.reaped = 0
+        self._next_reap = 0.0
+
+    def maybe_reap(self) -> int:
+        """Drop delivered-but-unclaimed messages older than the
+        network's ``inbox_ttl``; returns how many were dropped.
+
+        A message still sitting in the inbox is one that *no registered
+        waiter matched at delivery time* — under this codebase's
+        protocols every consumer registers its receive in the same
+        zero-delay instant it triggers the reply, so an unclaimed
+        message that has outlived every protocol timeout is dead (the
+        classic case: ACK/NACKs for a claim round the agent abandoned
+        at its deadline). Without hygiene those corpses accumulate
+        without bound and every filtered receive scans past all of
+        them — quadratic wall time on long runs. The reap is amortised
+        (only on delivery, only past :data:`REAP_MIN_BACKLOG`, at most
+        every ``ttl/4``) and purely a function of simulation state, so
+        runs stay bit-deterministic per seed.
+        """
+        ttl = self.network.inbox_ttl
+        if ttl is None:
+            return 0
+        items = self.inbox.items
+        now = self.network.env.now
+        if len(items) < self.REAP_MIN_BACKLOG or now < self._next_reap:
+            return 0
+        self._next_reap = now + ttl / 4.0
+        cutoff = now - ttl
+        kept = deque(m for m in items if m.sent_at >= cutoff)
+        dropped = len(items) - len(kept)
+        if dropped:
+            self.inbox.items = kept
+            self.reaped += dropped
+            self.network.stats.record_expired(dropped)
+        return dropped
 
     def receive(
         self,
@@ -151,6 +192,7 @@ class Network:
         streams: Optional[RandomStreams] = None,
         scale_by_cost: bool = True,
         fifo_links: bool = False,
+        inbox_ttl: Optional[float] = None,
     ) -> None:
         self.env = env
         self.topology = topology
@@ -159,6 +201,13 @@ class Network:
         self.streams = streams or RandomStreams(0)
         self.scale_by_cost = scale_by_cost
         self.fifo_links = fifo_links
+        if inbox_ttl is not None and inbox_ttl <= 0:
+            raise NetworkError(f"inbox_ttl must be positive: {inbox_ttl}")
+        #: Inbox hygiene window (ms): delivered messages unclaimed for
+        #: longer than this are reaped (see Endpoint.maybe_reap).
+        #: None (default) keeps every unclaimed message forever — the
+        #: exact historical semantics.
+        self.inbox_ttl = inbox_ttl
         self.stats = NetworkStats()
         self.endpoints: Dict[str, Endpoint] = {}
         self._latency_stream = self.streams.stream("net.latency")
@@ -244,6 +293,8 @@ class Network:
         # lookup close to delivery for symmetry with live backends.
         endpoint = self.endpoints[msg.dst]
         endpoint.inbox.put(msg)
+        if self.inbox_ttl is not None:
+            endpoint.maybe_reap()
 
     # -- agent migration ------------------------------------------------------
 

@@ -28,6 +28,7 @@ class NetworkStats:
         self.messages: Counter = Counter()
         self.bytes: Counter = Counter()
         self.dropped: Counter = Counter()
+        self.expired = 0
         self._hub = None
 
     # -- observability -----------------------------------------------------
@@ -48,6 +49,11 @@ class NetworkStats:
             "net_dropped_total", "messages dropped (crash/link fault)",
             labels,
         )
+        self._obs_expired = hub.counter(
+            "net_expired_total",
+            "unclaimed messages reaped by inbox hygiene",
+            (),
+        )
 
     # -- recording --------------------------------------------------------
 
@@ -63,6 +69,13 @@ class NetworkStats:
         self.dropped[(category, kind)] += 1
         if self._hub is not None:
             self._obs_dropped.inc(category=category, kind=kind)
+
+    def record_expired(self, count: int = 1) -> None:
+        """Delivered-but-never-claimed messages reaped by inbox
+        hygiene (distinct from :meth:`record_drop`: these *arrived*)."""
+        self.expired += count
+        if self._hub is not None:
+            self._obs_expired.inc(count)
 
     # -- queries -----------------------------------------------------------
 
@@ -95,6 +108,7 @@ class NetworkStats:
         self.messages.update(other.messages)
         self.bytes.update(other.bytes)
         self.dropped.update(other.dropped)
+        self.expired += other.expired
         return self
 
     def rows(self) -> List[Tuple[str, str, int, int]]:

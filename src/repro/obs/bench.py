@@ -1,7 +1,8 @@
 """Perf trajectory: versioned benchmark baselines and regression gates.
 
-``repro-marp bench`` runs three scenario suites — the DES kernel, the
-parallel experiment engine, the live threaded runtime — and writes one
+``repro-marp bench`` runs four scenario suites — the DES kernel, the
+parallel experiment engine, the live threaded runtime, and the
+streaming scale data plane — and writes one
 ``BENCH_<suite>.json`` per suite (schema :data:`SCHEMA_VERSION`): a
 throughput number, wall time, and a determinism fingerprint per
 scenario, plus host metadata so a baseline records *where* it was
@@ -185,6 +186,82 @@ def _scn_live(quick: bool):
     }
 
 
+#: Child body for the scale scenarios. Run in a fresh interpreter so
+#: ``ru_maxrss`` measures *this run's* peak RSS, not whatever the bench
+#: process allocated before (a parent-side reading could only ever grow
+#: across scenarios). The child prints a single JSON document; events
+#: are DES events from a private ObservabilityHub, the fingerprint is
+#: the standard result fingerprint (streaming fingerprints are
+#: process-independent, so parent and child agree).
+_SCALE_CHILD = """\
+import json
+import resource
+import sys
+
+from repro import obs as obs_mod
+from repro.experiments.cache import result_fingerprint
+from repro.experiments.runner import run_once
+from repro.experiments.scale import ScaleVariant, scale_config
+
+protocol, requests, gap = sys.argv[1], int(sys.argv[2]), float(sys.argv[3])
+config = scale_config(
+    protocol,
+    ScaleVariant(label="bench", n_keys=256, key_skew=0.99),
+    gap,
+    requests,
+    seed=3,
+)
+hub = obs_mod.ObservabilityHub()
+obs_mod.set_hub(hub)
+result = run_once(config)
+print(json.dumps({
+    "events": int(hub.registry.get("sim_events_total").total()),
+    "fingerprint": result_fingerprint(result),
+    "committed": result.committed,
+    "consistent": result.audit.consistent,
+    "peak_rss_mb": round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    ),
+}))
+"""
+
+
+def _scn_scale(name: str, protocol: str, quick_requests: int,
+               full_requests: int, gap: float = 100.0) -> ScenarioFn:
+    """A streaming Zipf scale scenario (canonical ``scale_config``:
+    5 replicas, 256 keys, skew 0.99, vectorized workload, hygiene
+    windows), isolated in a subprocess for a clean peak-RSS reading."""
+
+    def fn(quick: bool):
+        import subprocess
+        import sys
+
+        requests = quick_requests if quick else full_requests
+        proc = subprocess.run(
+            [sys.executable, "-c", _SCALE_CHILD,
+             protocol, str(requests), str(gap)],
+            capture_output=True, text=True,
+        )
+        if proc.returncode != 0:
+            raise BenchError(
+                f"scale child failed ({proc.returncode}): "
+                f"{proc.stderr.strip()[-500:]}"
+            )
+        doc = json.loads(proc.stdout.strip().splitlines()[-1])
+        if not doc["consistent"]:
+            raise BenchError(f"scale bench run {name!r} was inconsistent")
+        return doc["events"], doc["fingerprint"], {
+            "protocol": protocol,
+            "requests": requests * 5,  # 5 replicas, one client each
+            "mean_interarrival": gap,
+            "committed": doc["committed"],
+            "peak_rss_mb": doc["peak_rss_mb"],
+        }
+
+    fn.__name__ = name
+    return fn
+
+
 SUITES: Dict[str, Sequence[Scenario]] = {
     "kernel": (
         Scenario("event_loop", "events/s", repeats=3, fn=_scn_event_loop),
@@ -201,6 +278,17 @@ SUITES: Dict[str, Sequence[Scenario]] = {
     "live": (
         Scenario("live_thread_contended", "updates/s", repeats=1,
                  fn=_scn_live),
+    ),
+    # The streaming data plane at scale: a contended MARP run and the
+    # bulk single-writer plane. Quick sizes gate CI; full sizes are the
+    # local acceptance workload — scale_stream_bulk at full size IS the
+    # million-request Zipf scenario (5 clients x 200k requests).
+    "scale": (
+        Scenario("scale_marp_contended", "events/s", repeats=1,
+                 fn=_scn_scale("scale_marp_contended", "marp", 40, 300)),
+        Scenario("scale_stream_bulk", "events/s", repeats=1,
+                 fn=_scn_scale("scale_stream_bulk", "primary-copy",
+                               1_000, 200_000)),
     ),
 }
 

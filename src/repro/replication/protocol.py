@@ -31,6 +31,13 @@ class ReplicationProtocol:
         self.deployment = deployment
         self.env = deployment.env
         self.records: List[RequestRecord] = []
+        # Streaming mode (enable_streaming): terminal records are swept
+        # out of self.records into the sink, so memory stays O(in-flight)
+        # instead of O(total requests).
+        self._stream_sink = None
+        self._sweep_every = 0
+        self._since_sweep = 0
+        self.swept = 0
 
     # -- submission API (used by clients and examples) ----------------------
 
@@ -57,6 +64,8 @@ class ReplicationProtocol:
         )
         self.records.append(record)
         self._start_write(record)
+        if self._stream_sink is not None:
+            self._maybe_sweep()
         return record
 
     def submit_read(self, home: str, key: str) -> RequestRecord:
@@ -69,6 +78,8 @@ class ReplicationProtocol:
         )
         self.records.append(record)
         self._start_read(record)
+        if self._stream_sink is not None:
+            self._maybe_sweep()
         return record
 
     # -- protocol hooks ---------------------------------------------------------
@@ -78,6 +89,53 @@ class ReplicationProtocol:
 
     def _start_read(self, record: RequestRecord) -> None:  # pragma: no cover
         raise NotImplementedError
+
+    # -- streaming accounting -----------------------------------------------
+
+    def enable_streaming(self, sink, sweep_every: int = 4096) -> None:
+        """Sweep terminal records into ``sink`` instead of keeping them.
+
+        ``sink`` is any callable taking one terminal
+        :class:`RequestRecord` (e.g.
+        :meth:`repro.analysis.metrics.StreamingMetrics.observe`); it
+        sees each record exactly once, after the record reached a
+        terminal status. Every ``sweep_every`` submissions the record
+        list is compacted down to the still-pending requests, bounding
+        memory by the in-flight population. Call
+        :meth:`finalize_streaming` after the run to flush stragglers.
+        """
+        if sweep_every < 1:
+            raise ReplicationError(f"sweep_every must be >= 1: {sweep_every}")
+        self._stream_sink = sink
+        self._sweep_every = sweep_every
+        self._since_sweep = 0
+
+    def _maybe_sweep(self) -> None:
+        self._since_sweep += 1
+        if self._since_sweep >= self._sweep_every:
+            self._sweep()
+
+    def _sweep(self) -> int:
+        sink = self._stream_sink
+        kept: List[RequestRecord] = []
+        swept = 0
+        for record in self.records:
+            if record.status == "pending":
+                kept.append(record)
+            else:
+                sink(record)
+                swept += 1
+        self.records = kept
+        self.swept += swept
+        self._since_sweep = 0
+        return swept
+
+    def finalize_streaming(self) -> int:
+        """Flush remaining terminal records; returns how many still
+        pending (incomplete at horizon — never handed to the sink)."""
+        if self._stream_sink is not None:
+            self._sweep()
+        return len(self.records)
 
     # -- bookkeeping --------------------------------------------------------------
 

@@ -26,6 +26,28 @@ import numpy as np
 
 __all__ = ["RandomStreams", "Stream", "spawn_seed"]
 
+#: Cached Zipf CDFs keyed by (population size, theta). The CDF is a pure
+#: function of its key, so the cache is safe to share across streams and
+#: processes; it is bounded because a run touches a handful of
+#: (n, theta) combinations.
+_ZIPF_CDF_CACHE: Dict[tuple, np.ndarray] = {}
+_ZIPF_CDF_CACHE_MAX = 64
+
+
+def _zipf_cdf(n: int, theta: float) -> np.ndarray:
+    """CDF of the Zipf(theta) distribution over ranks ``1..n``."""
+    key = (int(n), float(theta))
+    cdf = _ZIPF_CDF_CACHE.get(key)
+    if cdf is None:
+        ranks = np.arange(1, n + 1, dtype=np.float64)
+        weights = ranks**-theta
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        if len(_ZIPF_CDF_CACHE) >= _ZIPF_CDF_CACHE_MAX:
+            _ZIPF_CDF_CACHE.clear()
+        _ZIPF_CDF_CACHE[key] = cdf
+    return cdf
+
 
 def spawn_seed(master_seed: int, label: str, index: int = 0) -> int:
     """Derive an independent child seed from ``(master_seed, label, index)``.
@@ -93,16 +115,51 @@ class Stream:
     def zipf_index(self, n: int, theta: float) -> int:
         """Zipf-distributed index in ``[0, n)`` with skew ``theta``.
 
-        ``theta == 0`` degenerates to uniform.
+        ``theta == 0`` degenerates to uniform. Inverse-CDF sampling over
+        a cached CDF (one uniform draw + binary search), so the scalar
+        and batch samplers consume the stream identically: one
+        :meth:`zipf_index` call advances the generator exactly like one
+        element of :meth:`zipf_indices`.
         """
         if n <= 0:
             raise ValueError(f"zipf domain must be positive: {n}")
         if theta == 0:
             return self.integers(0, n)
-        ranks = np.arange(1, n + 1, dtype=float)
-        weights = ranks**-theta
-        weights /= weights.sum()
-        return int(self.generator.choice(n, p=weights))
+        cdf = _zipf_cdf(n, theta)
+        return int(np.searchsorted(cdf, self.generator.random(), side="right"))
+
+    # Batch draws ----------------------------------------------------------
+    #
+    # numpy Generators produce element-wise identical sequences whether
+    # values are drawn one at a time or in a block, so each helper below
+    # is chunk-size invariant: drawing 10_000 values as 10 blocks of
+    # 1_000 or 157 blocks of 64 yields the same sequence. The vectorized
+    # workload path depends on this.
+
+    def exponential_batch(self, mean: float, count: int) -> np.ndarray:
+        """``count`` draws from Exp(mean) as a float64 array."""
+        if mean < 0:
+            raise ValueError(f"exponential mean must be >= 0: {mean}")
+        if mean == 0:
+            return np.zeros(int(count), dtype=np.float64)
+        return self.generator.exponential(mean, size=int(count))
+
+    def uniform_batch(self, low: float, high: float, count: int) -> np.ndarray:
+        return self.generator.uniform(low, high, size=int(count))
+
+    def random_batch(self, count: int) -> np.ndarray:
+        """``count`` uniforms in ``[0, 1)``."""
+        return self.generator.random(int(count))
+
+    def zipf_indices(self, n: int, theta: float, count: int) -> np.ndarray:
+        """``count`` Zipf(theta) indices in ``[0, n)`` (uniform when 0)."""
+        if n <= 0:
+            raise ValueError(f"zipf domain must be positive: {n}")
+        if theta == 0:
+            return self.generator.integers(0, n, size=int(count))
+        cdf = _zipf_cdf(n, theta)
+        u = self.generator.random(int(count))
+        return np.searchsorted(cdf, u, side="right")
 
     def __repr__(self) -> str:
         return f"<Stream {self.name!r}>"

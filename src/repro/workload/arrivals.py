@@ -8,6 +8,8 @@ processes here produce successive inter-arrival gaps in milliseconds.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import WorkloadError
 from repro.sim.rng import Stream
 
@@ -28,6 +30,20 @@ class ArrivalProcess:
     def next_gap(self, stream: Stream) -> float:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def gaps(self, stream: Stream, count: int) -> np.ndarray:
+        """``count`` successive gaps as a float64 array.
+
+        The base implementation loops over :meth:`next_gap` so custom
+        processes stay correct; the built-in processes override it with
+        a single vectorized draw that consumes the stream identically
+        (numpy batch draws are element-wise equal to scalar draws).
+        """
+        return np.fromiter(
+            (self.next_gap(stream) for _ in range(int(count))),
+            dtype=np.float64,
+            count=int(count),
+        )
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
 
@@ -44,6 +60,9 @@ class ExponentialArrivals(ArrivalProcess):
 
     def next_gap(self, stream: Stream) -> float:
         return stream.exponential(self.mean)
+
+    def gaps(self, stream: Stream, count: int) -> np.ndarray:
+        return stream.exponential_batch(self.mean, count)
 
     def __repr__(self) -> str:
         return f"ExponentialArrivals(mean={self.mean})"
@@ -63,6 +82,9 @@ class UniformArrivals(ArrivalProcess):
     def next_gap(self, stream: Stream) -> float:
         return stream.uniform(self.low, self.high)
 
+    def gaps(self, stream: Stream, count: int) -> np.ndarray:
+        return stream.uniform_batch(self.low, self.high, count)
+
     def __repr__(self) -> str:
         return f"UniformArrivals({self.low}, {self.high})"
 
@@ -79,6 +101,9 @@ class DeterministicArrivals(ArrivalProcess):
 
     def next_gap(self, stream: Stream) -> float:
         return self.interval
+
+    def gaps(self, stream: Stream, count: int) -> np.ndarray:
+        return np.full(int(count), self.interval, dtype=np.float64)
 
     def __repr__(self) -> str:
         return f"DeterministicArrivals({self.interval})"

@@ -64,6 +64,40 @@ class OperationMix:
             value = self._value_counter
         return op, key, value
 
+    def sample_batch(
+        self, count: int, op_stream: Stream, key_stream: Stream
+    ) -> List[Tuple[str, str, Optional[int]]]:
+        """``count`` (op, key, value) draws via vectorized sampling.
+
+        Operations and keys come from *separate* named streams (unlike
+        :meth:`sample`, which interleaves both on one stream) so the
+        sequence is invariant under chunk size: the i-th triple is the
+        same whether the run draws one chunk of 10_000 or ten of 1_000.
+        Write values continue the same monotone counter as
+        :meth:`sample`.
+        """
+        count = int(count)
+        is_write = op_stream.random_batch(count) < self.write_fraction
+        keys = self.keys
+        if len(keys) == 1:
+            key_seq = [keys[0]] * count
+        else:
+            indices = key_stream.zipf_indices(
+                len(keys), self.key_skew, count
+            )
+            key_seq = [keys[index] for index in indices]
+        triples: List[Tuple[str, str, Optional[int]]] = []
+        append = triples.append
+        counter = self._value_counter
+        for index in range(count):
+            if is_write[index]:
+                counter += 1
+                append((WRITE, key_seq[index], counter))
+            else:
+                append((READ, key_seq[index], None))
+        self._value_counter = counter
+        return triples
+
     def __repr__(self) -> str:
         return (
             f"OperationMix(write_fraction={self.write_fraction}, "

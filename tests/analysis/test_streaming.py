@@ -1,0 +1,307 @@
+"""Streaming accounting: reservoir parity, chain digests, sweeps.
+
+The streaming data plane must be an *accounting* change only: a
+streaming run simulates the exact same events as its full-record twin,
+so every exact metric (ALT/ATT means, PRK, throughput, counts) must be
+byte-equal, the P² quantiles must land within their documented error
+bound, and the incremental chain digests must equal a replay of the
+stored histories.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.consistency import ChainDigest, audit, streaming_audit
+from repro.analysis.stats import P2Quantile, Welford
+from repro.errors import ProtocolError, ReplicationError
+from repro.experiments.runner import RunConfig, run_once
+from repro.sim.monitor import (
+    Monitor,
+    StateMonitor,
+    StreamingMonitor,
+    StreamingStateMonitor,
+)
+
+BASE = RunConfig(
+    n_replicas=5, seed=13, mean_interarrival=30.0,
+    requests_per_client=40, n_keys=8, key_skew=0.9,
+    workload_chunk=32,
+)
+
+
+@pytest.fixture(scope="module")
+def twin_runs():
+    """One config run both ways: full-record and streaming."""
+    batch = run_once(BASE)
+    streaming = run_once(BASE.with_(streaming=True))
+    return batch, streaming
+
+
+class TestWelford:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        xs = rng.lognormal(1.0, 0.7, size=5000)
+        w = Welford()
+        for x in xs:
+            w.observe(float(x))
+        assert w.count == len(xs)
+        assert w.result() == pytest.approx(float(np.mean(xs)), rel=1e-12)
+        assert w.variance == pytest.approx(
+            float(np.var(xs, ddof=1)), rel=1e-9
+        )
+        assert (w.minimum, w.maximum) == (float(xs.min()), float(xs.max()))
+
+    def test_empty_is_nan(self):
+        assert math.isnan(Welford().result())
+
+
+class TestP2Quantile:
+    def test_exact_below_six_observations(self):
+        est = P2Quantile(0.99)
+        xs = [5.0, 1.0, 9.0, 3.0]
+        for x in xs:
+            est.observe(x)
+        assert est.result() == pytest.approx(np.percentile(xs, 99))
+
+    @pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+    def test_within_documented_bound_on_latency_shapes(self, q):
+        # Documented contract: ≤ ~5% relative error on latency-like
+        # (exponential / lognormal) distributions.
+        rng = np.random.default_rng(17)
+        for xs in (
+            rng.exponential(30.0, size=50_000),
+            rng.lognormal(3.0, 0.5, size=50_000),
+        ):
+            est = P2Quantile(q)
+            for x in xs:
+                est.observe(float(x))
+            exact = float(np.percentile(xs, q * 100.0))
+            assert est.result() == pytest.approx(exact, rel=0.05)
+
+    def test_quantile_ordering(self):
+        rng = np.random.default_rng(23)
+        xs = rng.exponential(10.0, size=20_000)
+        p50, p99 = P2Quantile(0.5), P2Quantile(0.99)
+        for x in xs:
+            p50.observe(float(x))
+            p99.observe(float(x))
+        assert p50.result() < p99.result()
+
+
+class TestStreamingMonitors:
+    def test_mean_matches_batch_monitor(self):
+        rng = np.random.default_rng(5)
+        batch, streaming = Monitor("m"), StreamingMonitor("m")
+        for t, v in enumerate(rng.exponential(4.0, size=3000)):
+            batch.record(float(t), float(v))
+            streaming.record(float(t), float(v))
+        assert len(streaming) == len(batch)
+        assert streaming.mean() == pytest.approx(batch.mean(), rel=1e-12)
+        assert streaming.percentile(99.0) == pytest.approx(
+            batch.percentile(99.0), rel=0.05
+        )
+
+    def test_untracked_quantile_raises(self):
+        with pytest.raises(ValueError):
+            StreamingMonitor("m", quantiles=(50.0,)).percentile(99.0)
+
+    def test_state_monitor_time_average_exact(self):
+        rng = np.random.default_rng(11)
+        times = np.cumsum(rng.exponential(2.0, size=1000))
+        states = rng.integers(0, 7, size=1000)
+        batch = StateMonitor("ll", initial=0.0)
+        streaming = StreamingStateMonitor("ll", initial=0.0)
+        for t, s in zip(times, states):
+            batch.set(float(t), float(s))
+            streaming.set(float(t), float(s))
+        until = float(times[-1] + 5.0)
+        assert streaming.time_average(until) == pytest.approx(
+            batch.time_average(until), rel=1e-12
+        )
+
+    def test_state_monitor_backwards_time_raises(self):
+        monitor = StreamingStateMonitor("ll", initial=1.0, time=10.0)
+        with pytest.raises(ValueError):
+            monitor.set(5.0, 2.0)
+
+
+class TestStreamingBatchParity:
+    def test_exact_metrics_agree(self, twin_runs):
+        batch, streaming = twin_runs
+        assert streaming.committed == batch.committed
+        assert streaming.failed == batch.failed
+        assert streaming.open == batch.open
+        assert streaming.alt == pytest.approx(batch.alt, rel=1e-12)
+        assert streaming.att == pytest.approx(batch.att, rel=1e-12)
+        assert streaming.throughput == pytest.approx(
+            batch.throughput, rel=1e-12
+        )
+        assert set(streaming.prk) == set(batch.prk)
+        for k, fraction in batch.prk.items():
+            assert streaming.prk[k] == pytest.approx(fraction, rel=1e-12)
+
+    def test_quantiles_within_bound(self, twin_runs):
+        # The ~5% P² bound holds for long streams (pinned above on 50k
+        # samples); this short 200-commit run only gets the small-n
+        # bound — still tight enough to catch a broken estimator.
+        batch, streaming = twin_runs
+        assert streaming.att_p50 == pytest.approx(batch.att_p50, rel=0.15)
+        assert streaming.att_p99 == pytest.approx(batch.att_p99, rel=0.15)
+
+    def test_streaming_run_keeps_no_records(self, twin_runs):
+        _, streaming = twin_runs
+        assert streaming.records == []
+        assert streaming.commit_slots == ()
+        assert len(streaming.chain_digests) == BASE.n_replicas
+
+    def test_serial_vs_pool_fingerprints_identical(self):
+        # Pool workers are fresh interpreters whose request-id counter
+        # starts over; the id-base normalisation inside ChainDigest must
+        # make the streaming fingerprint (which folds the digests)
+        # process-independent.
+        from repro.experiments.cache import result_fingerprint
+        from repro.experiments.parallel import ParallelRunner
+
+        config = BASE.with_(streaming=True)
+        serial = run_once(config)
+        with ParallelRunner(jobs=2) as runner:
+            pooled = runner.run_one(config)
+        assert result_fingerprint(pooled) == result_fingerprint(serial)
+        assert pooled.chain_digests == serial.chain_digests
+
+    def test_audits_agree_on_clean_run(self, twin_runs):
+        batch, streaming = twin_runs
+        full = audit(batch.deployment)
+        assert full.consistent and full.identical_histories
+        report = streaming.audit
+        for flag in (
+            "final_state_equal", "divergence_free", "monotone",
+            "complete", "identical_histories",
+        ):
+            assert getattr(report, flag) == getattr(full, flag), flag
+        assert report.total_commits == full.total_commits
+
+
+class TestChainDigestReplay:
+    def test_incremental_equals_replay_of_stored_history(self, twin_runs):
+        # The batch twin keeps full histories; replaying them through a
+        # fresh ChainDigest — normalised to that run's own first request
+        # id — must reproduce the streaming twin's in-run digests.
+        batch, streaming = twin_runs
+        incremental = dict(streaming.chain_digests)
+        id_base = min(r.request_id for r in batch.records)
+        for host in batch.deployment.hosts:
+            replay = ChainDigest(host, id_base=id_base)
+            for record in batch.deployment.server(host).history:
+                replay.observe(record)
+            assert replay.whole_digest() == incremental[host], host
+            assert replay.monotone
+
+    def test_streaming_audit_from_replayed_digests(self, twin_runs):
+        batch, _ = twin_runs
+        digests = {}
+        for host in batch.deployment.hosts:
+            digest = ChainDigest(host)
+            for record in batch.deployment.server(host).history:
+                digest.observe(record)
+            digests[host] = digest
+        report = streaming_audit(batch.deployment, digests)
+        assert report.consistent
+        assert report.identical_histories
+
+    def test_digest_flags_non_monotone(self):
+        class FakeRecord:
+            def __init__(self, version):
+                self.key = "x"
+                self.version = version
+                self.request_id = version
+                self.value = version
+                self.origin = "s1"
+
+        digest = ChainDigest("s1")
+        digest.observe(FakeRecord(1))
+        digest.observe(FakeRecord(1))  # repeat version
+        assert not digest.monotone
+        assert digest.problems
+
+
+class TestProtocolSweep:
+    def _protocol(self):
+        from repro.baselines import PrimaryCopy
+        from repro.replication.deployment import Deployment
+
+        deployment = Deployment(n_replicas=3, seed=2)
+        return deployment, PrimaryCopy(deployment)
+
+    def test_sweep_bounds_record_list(self):
+        deployment, protocol = self._protocol()
+        seen = []
+        protocol.enable_streaming(seen.append, sweep_every=4)
+        for index in range(20):
+            protocol.submit_write("s1", "x", index)
+            deployment.run()
+        pending = protocol.finalize_streaming()
+        assert pending == 0
+        assert protocol.records == []
+        assert protocol.swept == 20
+        assert len(seen) == 20  # each terminal record exactly once
+        assert len({r.request_id for r in seen}) == 20
+
+    def test_sweep_every_validation(self):
+        _, protocol = self._protocol()
+        with pytest.raises(ReplicationError):
+            protocol.enable_streaming(lambda r: None, sweep_every=0)
+
+
+class TestHistoryLogStreaming:
+    def test_stream_to_forwards_without_retaining(self):
+        deployment, protocol = (
+            TestProtocolSweep()._protocol()
+        )
+        sink = ChainDigest("s1")
+        deployment.server("s1").history.stream_to(sink)
+        for index in range(5):
+            protocol.submit_write("s1", "x", index)
+            deployment.run()
+        history = deployment.server("s1").history
+        assert len(history) == 5
+        assert list(history) == []  # nothing retained
+        assert history.last() is not None
+        assert sink.commits == 5
+
+    def test_stream_to_after_append_rejected(self):
+        deployment, protocol = TestProtocolSweep()._protocol()
+        protocol.submit_write("s1", "x", 0)
+        deployment.run()
+        with pytest.raises(ProtocolError):
+            deployment.server("s1").history.stream_to(lambda r: None)
+
+
+class TestULRetention:
+    def test_prune_drops_only_stale_entries(self):
+        from repro.agents.identity import AgentId
+        from repro.replication.locking import UpdatedList
+
+        ul = UpdatedList(retention=100.0)
+        old, fresh = AgentId("h", 1.0, 0), AgentId("h", 2.0, 0)
+        ul.add(old, at=0.0)
+        ul.add(fresh, at=950.0)
+        ul.prune(now=1000.0)
+        assert old not in ul and fresh in ul
+        assert ul.pruned_total == 1
+
+    def test_no_retention_never_prunes(self):
+        from repro.agents.identity import AgentId
+        from repro.replication.locking import UpdatedList
+
+        ul = UpdatedList()
+        ul.add(AgentId("h", 1.0, 0), at=0.0)
+        ul.prune(now=1e12)
+        assert len(ul) == 1
+
+    def test_run_with_retention_stays_consistent(self):
+        result = run_once(BASE.with_(ul_retention=500.0))
+        assert result.audit.consistent
+        assert result.committed == BASE.requests_per_client * BASE.n_replicas

@@ -47,6 +47,12 @@ FIELD_CHANGES = {
     "enable_bulletin": False,
     "protocol_kwargs": {"quorum": 2},
     "audit_exclude": ("s1",),
+    "streaming": True,
+    "key_skew": 0.8,
+    "n_keys": 32,
+    "workload_chunk": 256,
+    "ul_retention": 5_000.0,
+    "inbox_ttl": 10_000.0,
 }
 
 

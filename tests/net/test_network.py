@@ -11,7 +11,8 @@ from repro.sim.rng import RandomStreams
 
 
 def make_network(env, hosts=("a", "b", "c"), latency=None, faults=None,
-                 cost=1.0, scale_by_cost=True, fifo_links=False):
+                 cost=1.0, scale_by_cost=True, fifo_links=False,
+                 inbox_ttl=None):
     topo = Topology.full_mesh(list(hosts), cost=cost)
     network = Network(
         env,
@@ -21,6 +22,7 @@ def make_network(env, hosts=("a", "b", "c"), latency=None, faults=None,
         streams=RandomStreams(0),
         scale_by_cost=scale_by_cost,
         fifo_links=fifo_links,
+        inbox_ttl=inbox_ttl,
     )
     endpoints = {h: network.register(h) for h in hosts}
     return network, endpoints
@@ -287,3 +289,77 @@ class TestAttemptTransfer:
         env.run()
         assert network.stats.total_messages("agent") == 1
         assert network.stats.total_bytes("agent") == 2048
+
+
+class TestInboxHygiene:
+    """The opt-in inbox TTL: dead unclaimed messages (e.g. ACK/NACKs
+    for an abandoned claim round) are reaped on later deliveries."""
+
+    def test_invalid_ttl_rejected(self, env):
+        with pytest.raises(NetworkError):
+            make_network(env, inbox_ttl=0.0)
+        with pytest.raises(NetworkError):
+            make_network(env, inbox_ttl=-5.0)
+
+    def test_default_keeps_unclaimed_messages_forever(self, env):
+        _network, eps = make_network(env)
+
+        def late(env):
+            yield env.timeout(10_000.0)
+            eps["a"].send("b", "PING")
+
+        for index in range(40):
+            eps["a"].send("b", "ACK", index)
+        env.process(late(env))
+        env.run()
+        assert len(eps["b"].inbox.items) == 41  # historical semantics
+        assert eps["b"].reaped == 0
+
+    def test_stale_backlog_reaped_on_fresh_delivery(self, env):
+        network, eps = make_network(env, inbox_ttl=100.0)
+
+        def late(env):
+            yield env.timeout(200.0)
+            eps["a"].send("b", "PING")
+
+        for index in range(40):
+            eps["a"].send("b", "ACK", index)  # all sent at t=0
+        env.process(late(env))
+        env.run()
+        # the t=200 delivery finds 40 messages older than the ttl
+        assert eps["b"].reaped == 40
+        assert [m.kind for m in eps["b"].inbox.items] == ["PING"]
+        assert network.stats.expired == 40
+
+    def test_small_backlogs_are_left_alone(self, env):
+        """Below REAP_MIN_BACKLOG the scan cost is trivial, so even
+        stale messages stay (cheaper than scanning tiny inboxes)."""
+        _network, eps = make_network(env, inbox_ttl=100.0)
+
+        def late(env):
+            yield env.timeout(500.0)
+            eps["a"].send("b", "PING")
+
+        for index in range(10):
+            eps["a"].send("b", "ACK", index)
+        env.process(late(env))
+        env.run()
+        assert eps["b"].reaped == 0
+        assert len(eps["b"].inbox.items) == 11
+
+    def test_fresh_messages_survive_and_are_claimable(self, env):
+        _network, eps = make_network(env, inbox_ttl=100.0)
+        got = []
+
+        def flood_then_claim(env):
+            for index in range(40):
+                eps["a"].send("b", "ACK", index)
+            yield env.timeout(200.0)
+            eps["a"].send("b", "DATA", "fresh")
+            msg = yield eps["b"].receive(kind="DATA")
+            got.append(msg.payload)
+
+        env.process(flood_then_claim(env))
+        env.run()
+        assert got == ["fresh"]
+        assert eps["b"].reaped == 40

@@ -1,0 +1,162 @@
+"""Vectorized workload generation: determinism and distribution shape.
+
+The chunked data plane must be a pure performance change: batch draws
+are element-wise identical to scalar draws from an equally-seeded
+stream, the chunk size never leaks into what a client submits, and the
+serial and process-pool engines agree on chunked runs bit-for-bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cache import result_fingerprint
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import RunConfig, run_once
+from repro.sim.rng import RandomStreams
+from repro.workload.arrivals import ExponentialArrivals, UniformArrivals
+from repro.workload.mix import OperationMix
+
+
+def _stream(name="vec-tests", seed=7):
+    return RandomStreams(seed).stream(name)
+
+
+class TestBatchScalarEquivalence:
+    def test_exponential_batch_matches_scalar(self):
+        batch = ExponentialArrivals(20.0).gaps(_stream(), 500)
+        scalar = [
+            ExponentialArrivals(20.0).next_gap(_stream())
+            for _ in range(1)
+        ]
+        assert batch[0] == scalar[0]
+        # and the whole batch equals 500 scalar draws from a twin stream
+        twin = _stream()
+        arrivals = ExponentialArrivals(20.0)
+        expected = np.array([arrivals.next_gap(twin) for _ in range(500)])
+        np.testing.assert_array_equal(batch, expected)
+
+    def test_uniform_batch_matches_scalar(self):
+        batch = UniformArrivals(5.0, 9.0).gaps(_stream(), 300)
+        twin = _stream()
+        arrivals = UniformArrivals(5.0, 9.0)
+        expected = np.array([arrivals.next_gap(twin) for _ in range(300)])
+        np.testing.assert_array_equal(batch, expected)
+
+    def test_zipf_batch_matches_scalar(self):
+        batch = _stream().zipf_indices(64, 0.95, 400)
+        twin = _stream()
+        expected = np.array([twin.zipf_index(64, 0.95) for _ in range(400)])
+        np.testing.assert_array_equal(batch, expected)
+
+    def test_uniform_key_batch_matches_scalar(self):
+        # theta == 0 short-circuits to generator.integers; still must
+        # consume the generator identically to scalar zipf_index calls.
+        batch = _stream().zipf_indices(16, 0.0, 200)
+        twin = _stream()
+        expected = np.array([twin.zipf_index(16, 0.0) for _ in range(200)])
+        np.testing.assert_array_equal(batch, expected)
+
+    def test_mix_sample_batch_matches_scalar(self):
+        mix = OperationMix(write_fraction=0.7, keys=tuple(
+            f"k{i}" for i in range(32)
+        ), key_skew=0.9)
+        ops = _stream("ops")
+        keys = _stream("keys")
+        batch = mix.sample_batch(250, ops, keys)
+        twin_mix = OperationMix(write_fraction=0.7, keys=tuple(
+            f"k{i}" for i in range(32)
+        ), key_skew=0.9)
+        # Scalar twin: one uniform for the op, one for the key, drawn
+        # from equally-seeded twin streams.
+        twin_ops, twin_keys = _stream("ops"), _stream("keys")
+        for op, key, _value in batch:
+            want_write = twin_ops.random() < 0.7
+            assert (op == "write") == want_write
+            assert key == f"k{twin_keys.zipf_index(32, 0.9)}"
+
+
+class TestZipfShape:
+    def test_rank_frequency_slope(self):
+        """log(freq) vs log(rank) slope ≈ -theta for a Zipf sample."""
+        theta = 0.9
+        sample = _stream().zipf_indices(512, theta, 200_000)
+        counts = np.bincount(sample, minlength=512).astype(float)
+        # fit over the well-populated head (top 64 ranks)
+        ranks = np.arange(1, 65)
+        freqs = np.sort(counts)[::-1][:64]
+        slope = np.polyfit(np.log(ranks), np.log(freqs), 1)[0]
+        assert -theta - 0.08 < slope < -theta + 0.08
+
+    def test_theta_zero_is_uniform(self):
+        sample = _stream().zipf_indices(32, 0.0, 100_000)
+        counts = np.bincount(sample, minlength=32)
+        assert counts.min() > 0.8 * (100_000 / 32)
+
+    def test_cdf_cache_reused(self):
+        from repro.sim import rng
+
+        rng._ZIPF_CDF_CACHE.clear()
+        s = _stream()
+        s.zipf_indices(100, 0.8, 10)
+        s.zipf_indices(100, 0.8, 10)
+        assert len(rng._ZIPF_CDF_CACHE) == 1
+
+
+class TestChunkInvariance:
+    BASE = RunConfig(
+        n_replicas=3, seed=21, mean_interarrival=40.0,
+        requests_per_client=12, n_keys=8, key_skew=0.9,
+    )
+
+    def test_chunk_size_never_changes_the_run(self):
+        # Chunked mode draws from dedicated per-field streams (not the
+        # scalar path's interleaved stream), so the invariant is that
+        # the chunk size — a pure batching knob — never changes what a
+        # client submits. chunk=1 is the reference.
+        def surface(config):
+            result = run_once(config)
+            base = min(r.request_id for r in result.records)
+            return [
+                (r.request_id - base, r.home, r.op, r.key,
+                 r.created_at, r.completed_at, r.status)
+                for r in result.records
+            ]
+
+        reference = surface(self.BASE.with_(workload_chunk=1))
+        for chunk in (5, 64, 4096):
+            chunked = surface(self.BASE.with_(workload_chunk=chunk))
+            assert chunked == reference, f"chunk={chunk} changed the run"
+
+    def test_chunk_invariance_under_truncation(self):
+        # `until` cuts generation mid-chunk; the submitted prefix must
+        # still be chunk-size-invariant.
+        base = self.BASE.with_(horizon=400.0)
+        reference = run_once(base.with_(workload_chunk=1))
+        chunked = run_once(base.with_(workload_chunk=64))
+        assert (
+            [r.key for r in chunked.records]
+            == [r.key for r in reference.records]
+        )
+
+    def test_serial_vs_pool_identical_for_chunked_runs(self):
+        config = self.BASE.with_(workload_chunk=32)
+        serial = run_once(config)
+        with ParallelRunner(jobs=2) as runner:
+            pooled = runner.run_one(config)
+        assert result_fingerprint(pooled) == result_fingerprint(serial)
+
+
+class TestValidation:
+    def test_chunk_requires_field_streams(self):
+        from repro.replication.deployment import Deployment
+        from repro.replication.client import Client
+        from repro.baselines import PrimaryCopy
+
+        deployment = Deployment(n_replicas=3, seed=0)
+        protocol = PrimaryCopy(deployment)
+        with pytest.raises(Exception):
+            Client(
+                protocol, deployment.hosts[0],
+                ExponentialArrivals(10.0), OperationMix(),
+                deployment.streams.stream("c"), chunk=8,
+            )
