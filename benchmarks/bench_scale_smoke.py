@@ -17,6 +17,10 @@ Three checks under explicit budgets, each in its own subprocess so
 3. **Saturation artifact** — a miniature ``run_scale`` sweep (MARP vs
    a quorum baseline) writes the ``repro-scale/v1`` saturation-curve
    JSON that CI uploads as an artifact, and sanity-checks its schema.
+4. **Hundreds-of-replicas delta tour** — a fixed-seed N=150 MARP run
+   with ``delta_views=True`` (every agent tours all 150 replicas on
+   the O(Δ) shared-view plane) must finish consistent, fully
+   committed, and within its own wall/RSS budgets.
 
 Runs standalone (``python benchmarks/bench_scale_smoke.py [OUT.json]``)
 and under pytest. Budgets are generous vs the measured values (locally
@@ -43,6 +47,13 @@ REQUESTS_PER_CLIENT = 20_000  # x5 replicas = 100k requests
 SMOKE_PROTOCOL = "primary-copy"  # the fast bulk plane; MARP-rate runs
                                  # of this size belong to `repro scale`
 
+#: wall-clock budget (s) for the fixed-seed N=150 delta-view tour.
+DELTA_WALL_BUDGET_S = 300.0
+#: peak-RSS budget (MB) for the fixed-seed N=150 delta-view tour.
+DELTA_RSS_BUDGET_MB = 500.0
+DELTA_REPLICAS = 150
+DELTA_REQUESTS = 1  # per client; one client per replica
+
 _CHILD = """\
 import json
 import resource
@@ -53,10 +64,15 @@ from repro.experiments.scale import ScaleVariant, scale_config
 
 streaming = sys.argv[1] == "1"
 requests = int(sys.argv[2])
+protocol = sys.argv[3]
+n_replicas = int(sys.argv[4])
+delta = sys.argv[5] == "1"
+gap = float(sys.argv[6])
 config = scale_config(
-    "%s",
-    ScaleVariant(label="smoke", n_keys=256, key_skew=0.99),
-    100.0,
+    protocol,
+    ScaleVariant(label="smoke", n_replicas=n_replicas, n_keys=256,
+                 key_skew=0.99, delta_views=delta),
+    gap,
     requests,
     seed=3,
 )
@@ -69,15 +85,18 @@ print(json.dumps({
     "att_p99": result.att_p99,
     "rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
 }))
-""" % SMOKE_PROTOCOL
+"""
 
 
-def _child_run(streaming: bool, requests: int):
+def _child_run(streaming: bool, requests: int,
+               protocol: str = SMOKE_PROTOCOL, n_replicas: int = 5,
+               delta: bool = False, gap: float = 100.0):
     """One isolated run; returns (doc, wall_seconds)."""
     start = time.perf_counter()
     proc = subprocess.run(
         [sys.executable, "-c", _CHILD, "1" if streaming else "0",
-         str(requests)],
+         str(requests), protocol, str(n_replicas),
+         "1" if delta else "0", str(gap)],
         capture_output=True, text=True,
     )
     wall = time.perf_counter() - start
@@ -143,11 +162,29 @@ def test_saturation_artifact(out_path="output/scale_smoke.json"):
     print(f"wrote saturation artifact: {out_path}")
 
 
+def test_delta_view_tour_at_150_replicas():
+    doc, wall = _child_run(
+        True, DELTA_REQUESTS, protocol="marp",
+        n_replicas=DELTA_REPLICAS, delta=True, gap=500.0,
+    )
+    print(f"delta tour N={DELTA_REPLICAS}: wall {wall:.1f}s "
+          f"rss {doc['rss_mb']:.1f}MB p99 {doc['att_p99']:.1f}ms")
+    assert doc["committed"] == DELTA_REQUESTS * DELTA_REPLICAS
+    assert doc["consistent"]
+    assert wall < DELTA_WALL_BUDGET_S, (
+        f"wall {wall:.1f}s over {DELTA_WALL_BUDGET_S}s"
+    )
+    assert doc["rss_mb"] < DELTA_RSS_BUDGET_MB, (
+        f"peak RSS {doc['rss_mb']:.1f}MB over {DELTA_RSS_BUDGET_MB}MB"
+    )
+
+
 def main() -> int:
     out_path = sys.argv[1] if len(sys.argv) > 1 else "output/scale_smoke.json"
     test_bulk_streaming_run_within_budgets()
     test_streaming_memory_at_least_5x_below_full_record()
     test_saturation_artifact(out_path)
+    test_delta_view_tour_at_150_replicas()
     rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
     print(f"scale smoke OK (driver RSS {rss:.1f}MB)")
     return 0

@@ -184,7 +184,7 @@ class AgentMachine:
         woke = s.phase == PARKED
         s.phase = TOURING
         s.location = event.host
-        s.table.update(event.view)
+        s.table.ingest(event.view)
         s.table.merge_bulletin(event.bulletin)
         effects: List[Effect] = [
             PostBulletin(s.table.shareable_views(event.host))

@@ -1,0 +1,140 @@
+"""The replica-side mutation journal behind the delta-view data plane.
+
+Every migrating agent carries one :class:`~repro.core.machines.wire
+.SharedView` per known server, and every visit re-merges all of them —
+so both the suitcase wire size and the per-tour merge cost grow as
+O(replicas × agents × keys) even when almost nothing changed between
+visits. The delta plane replaces the repeat traffic with "ship only
+what the receiver hasn't seen": each :class:`ReplicaMachine` keeps a
+monotone sequence number plus a bounded changelog of its lock-state
+mutations, and a returning visitor that acknowledges sequence ``s``
+receives a :class:`~repro.core.machines.wire.SharedViewDelta` replaying
+only the events after ``s``.
+
+Journal events (``kind``, ``payload``):
+
+* ``"enq"``, *agent_id* — appended to the Locking List (always at the
+  tail);
+* ``"deq"``, *agent_id* — removed from the Locking List;
+* ``"fin"``, *agent_id* — added to the Updated List;
+* ``"ver"``, *(key, version)* — a version-vector cell advanced.
+
+The changelog is bounded (:data:`DEFAULT_CAPACITY` events): when the
+receiver's base falls off the retained window — first contact, a long
+absence, or a bulk change like a recovery snapshot install (which calls
+:meth:`DeltaJournal.reset`) — delta production declines and the server
+falls back to a full snapshot. Correctness never depends on the window;
+it only sizes how often the fallback pays full price.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.core.machines.wire import SharedViewDelta
+
+__all__ = ["DeltaJournal", "DEFAULT_CAPACITY"]
+
+#: Retained changelog events. Sized so that a tour-length absence at
+#: paper-scale activity stays inside the window; memory cost is one
+#: small tuple per retained event per replica.
+DEFAULT_CAPACITY = 1024
+
+
+class DeltaJournal:
+    """Monotone sequence + bounded changelog for one replica."""
+
+    def __init__(self, host: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.host = host
+        self.capacity = capacity
+        #: current sequence number; every logged mutation bumps it.
+        self.seq = 0
+        self._log: Deque[Tuple[int, str, Any]] = deque()
+        #: bases below this cannot be served (evicted or reset).
+        self._reset_floor = 0
+        self.resets = 0
+
+    def bump(self, kind: str, payload: Any) -> int:
+        """Log one mutation; returns the new sequence number."""
+        self.seq += 1
+        log = self._log
+        log.append((self.seq, kind, payload))
+        if len(log) > self.capacity:
+            log.popleft()
+        return self.seq
+
+    def reset(self) -> None:
+        """Invalidate the whole window after a bulk state change.
+
+        Recovery installs a snapshot and rewrites LL/UL/store state in
+        one stroke; rather than journal a bulk diff, advance the
+        sequence and force every receiver through the full-snapshot
+        fallback once.
+        """
+        self.seq += 1
+        self._log.clear()
+        self._reset_floor = self.seq
+        self.resets += 1
+
+    @property
+    def floor(self) -> int:
+        """Lowest base sequence a delta can still be cut against."""
+        if self._log:
+            return max(self._log[0][0] - 1, self._reset_floor)
+        return max(self.seq, self._reset_floor)
+
+    def can_delta(self, base_seq: int) -> bool:
+        return self.floor <= base_seq <= self.seq
+
+    def delta_since(
+        self, base_seq: int, as_of: float
+    ) -> Optional[SharedViewDelta]:
+        """Cut a delta against ``base_seq``, or None (full fallback).
+
+        Replays the retained events after ``base_seq`` into the net
+        locking-list edit (an id enqueued and dequeued inside the window
+        cancels out; a requeue becomes remove + re-append), the newly
+        finished ids, and the changed version cells at their newest
+        values.
+        """
+        if not self.can_delta(base_seq):
+            return None
+        removed: List[Any] = []
+        appended: List[Any] = []
+        finished: List[Any] = []
+        versions = None
+        for seq, kind, payload in self._log:
+            if seq <= base_seq:
+                continue
+            if kind == "enq":
+                appended.append(payload)
+            elif kind == "deq":
+                if payload in appended:
+                    appended.remove(payload)
+                else:
+                    removed.append(payload)
+            elif kind == "fin":
+                finished.append(payload)
+            else:  # "ver"
+                key, version = payload
+                if versions is None:
+                    versions = {}
+                if version > versions.get(key, 0):
+                    versions[key] = version
+        return SharedViewDelta(
+            host=self.host,
+            as_of=as_of,
+            base_seq=base_seq,
+            seq=self.seq,
+            removed=tuple(removed),
+            appended=tuple(appended),
+            finished=tuple(finished),
+            versions=versions,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<DeltaJournal {self.host!r} seq={self.seq} "
+            f"window={len(self._log)}/{self.capacity}>"
+        )

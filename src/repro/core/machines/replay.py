@@ -432,7 +432,8 @@ class KernelHarness:
         run.machine.state.location = host
         replica = self.replicas[host]
         data, effects = replica.begin_visit(
-            agent_id, run.machine.state.batch_id, self.now
+            agent_id, run.machine.state.batch_id, self.now,
+            acked=run.machine.state.table.acked_seq(host),
         )
         self._run_replica(replica, effects)
         self._run_agent(

@@ -39,6 +39,7 @@ from repro.core.machines.effects import (
     ReleaseNotify,
     Send,
 )
+from repro.core.machines.delta import DeltaJournal
 from repro.core.machines.events import MsgReceived
 from repro.core.machines.structures import (
     CommitRecord,
@@ -48,7 +49,12 @@ from repro.core.machines.structures import (
     UpdatedList,
     VersionedStore,
 )
-from repro.core.machines.wire import SharedView, UpdatePayload, VisitData
+from repro.core.machines.wire import (
+    SharedView,
+    SharedViewDelta,
+    UpdatePayload,
+    VisitData,
+)
 
 __all__ = ["ReplicaMachine"]
 
@@ -89,6 +95,16 @@ class ReplicaMachine:
         self.grant_epoch: int = 0
         self.grant_expires_at: float = float("-inf")
 
+        #: delta-view data plane (opt-in): a mutation journal that lets
+        #: :meth:`begin_visit` hand returning visitors only what changed
+        #: since their acknowledged sequence. ``None`` = classic plane;
+        #: nothing below journals and every view ships unstamped.
+        self.journal: Optional[DeltaJournal] = (
+            DeltaJournal(host)
+            if getattr(tunables, "delta_views", False)
+            else None
+        )
+
         self.acks_sent = 0
         self.nacks_sent = 0
         self.commits_applied = 0
@@ -103,7 +119,8 @@ class ReplicaMachine:
     # ------------------------------------------------------------------
 
     def begin_visit(
-        self, agent_id: AgentId, request_id: int, now: float
+        self, agent_id: AgentId, request_id: int, now: float,
+        acked: Optional[int] = None,
     ) -> Tuple[VisitData, List[Effect]]:
         """One agent visit: guarded lock enqueue + information exchange.
 
@@ -112,6 +129,14 @@ class ReplicaMachine:
         (a ``QueueChanged`` when the visit appended a lock entry). The
         agent's answering ``PostBulletin`` effect is routed back to
         :meth:`post_bulletin` by the driver.
+
+        ``acked`` is the visitor's acknowledged sequence for this server
+        (:meth:`LockingTable.acked_seq`). When the delta plane is on and
+        the journal still retains that base, the handed view is a
+        :class:`SharedViewDelta` covering only what changed since —
+        including this visit's own enqueue, exactly like the full
+        snapshot would. First contact (``acked`` = -1), an evicted base,
+        or the classic plane all fall back to the full snapshot.
         """
         effects: List[Effect] = []
         enqueued = False
@@ -121,8 +146,13 @@ class ReplicaMachine:
         ):
             effects.extend(self.request_lock(agent_id, request_id, now))
             enqueued = True
+        view: Any = None
+        if self.journal is not None and acked is not None:
+            view = self.delta_view(now, acked)
+        if view is None:
+            view = self.lock_view(now)
         data = VisitData(
-            view=self.lock_view(now),
+            view=view,
             bulletin=self.read_bulletin(),
             rank=self.locking_list.rank(agent_id),
             ll_len=len(self.locking_list),
@@ -145,6 +175,8 @@ class ReplicaMachine:
             LockEntry(agent_id=agent_id, request_id=request_id,
                       enqueued_at=now)
         )
+        if self.journal is not None:
+            self.journal.bump("enq", agent_id)
         return [QueueChanged()]
 
     def requeue_lock(
@@ -158,11 +190,15 @@ class ReplicaMachine:
         stalemates through grant-certified claims instead ([D1]), but
         the primitive remains available to alternative policies.
         """
-        self.locking_list.remove(agent_id)
+        removed = self.locking_list.remove(agent_id)
         self.locking_list.append(
             LockEntry(agent_id=agent_id, request_id=request_id,
                       enqueued_at=now)
         )
+        if self.journal is not None:
+            if removed:
+                self.journal.bump("deq", agent_id)
+            self.journal.bump("enq", agent_id)
         return [ReleaseNotify()]
 
     def lock_view(self, now: float) -> SharedView:
@@ -174,7 +210,24 @@ class ReplicaMachine:
             view=self.locking_list.view(),
             updated=self.updated_list.as_set(),
             versions=self.store.version_vector(),
+            seq=self.journal.seq if self.journal is not None else -1,
         )
+
+    def delta_view(
+        self, now: float, base_seq: int
+    ) -> Optional[SharedViewDelta]:
+        """Delta since ``base_seq``, or None when only a full snapshot
+        will do (classic plane, first contact, base evicted/reset).
+
+        Under a finite ``ul_retention`` the receiver's reconstructed
+        ``updated`` set is a monotone *superset* of this server's pruned
+        UL — safe (finished is monotone knowledge; pruning only forgets),
+        and exact in the default keep-forever configuration.
+        """
+        if self.journal is None:
+            return None
+        self.updated_list.prune(now)
+        return self.journal.delta_since(base_seq, now)
 
     def read_bulletin(self) -> Dict[str, SharedView]:
         """Views of *other* servers deposited by previous visitors."""
@@ -311,6 +364,7 @@ class ReplicaMachine:
         # were briefly down), the commit can still be applied.
         self.pending_updates.pop(payload.batch_id, None)
         effects: List[Effect] = []
+        journal = self.journal
         for write in payload.writes:
             applied = self.store.apply(
                 write.key, write.value, write.version, now
@@ -327,6 +381,8 @@ class ReplicaMachine:
                     )
                 )
                 self.commits_applied += 1
+                if journal is not None:
+                    journal.bump("ver", (write.key, write.version))
                 effects.append(
                     CommitApplied(
                         payload.agent_id, write.request_id,
@@ -335,8 +391,13 @@ class ReplicaMachine:
                 )
         # Locks from this agent are removed regardless of staleness.
         self.release_grant(payload.agent_id)
-        self.locking_list.remove(payload.agent_id)
-        self.updated_list.add(payload.agent_id, at=now)
+        removed = self.locking_list.remove(payload.agent_id)
+        finished = self.updated_list.add(payload.agent_id, at=now)
+        if journal is not None:
+            if removed:
+                journal.bump("deq", payload.agent_id)
+            if finished:
+                journal.bump("fin", payload.agent_id)
         effects.append(QueueChanged())
         effects.append(ReleaseNotify())
         return effects
@@ -345,8 +406,13 @@ class ReplicaMachine:
         """An agent gave up on its request entirely: forget it."""
         self.pending_updates.pop(payload.batch_id, None)
         self.release_grant(payload.agent_id)
-        self.locking_list.remove(payload.agent_id)
-        self.updated_list.add(payload.agent_id, at=now)
+        removed = self.locking_list.remove(payload.agent_id)
+        finished = self.updated_list.add(payload.agent_id, at=now)
+        if self.journal is not None:
+            if removed:
+                self.journal.bump("deq", payload.agent_id)
+            if finished:
+                self.journal.bump("fin", payload.agent_id)
         return [QueueChanged(), ReleaseNotify()]
 
     def _on_release(self, payload: UpdatePayload) -> List[Effect]:
@@ -381,6 +447,11 @@ class ReplicaMachine:
                 self.locking_list.remove(agent_id)
         if self.grant_holder is not None and self.grant_holder in self.updated_list:
             self.release_grant(self.grant_holder)
+        if self.journal is not None:
+            # Recovery rewrote store/UL/LL state in one stroke; rather
+            # than journal a bulk diff, invalidate the window so every
+            # visitor takes the full-snapshot fallback once.
+            self.journal.reset()
         return [Recovered(src), QueueChanged(), ReleaseNotify()]
 
     def _on_read_query(

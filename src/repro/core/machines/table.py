@@ -31,10 +31,11 @@ from __future__ import annotations
 from collections import Counter
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import ProtocolError
 from repro.agents.identity import AgentId
 from repro.core.machines.intern import Interner
 from repro.core.machines.structures import UpdatedList
-from repro.core.machines.wire import SharedView
+from repro.core.machines.wire import SharedView, SharedViewDelta
 
 __all__ = ["LockingTable"]
 
@@ -42,7 +43,7 @@ __all__ = ["LockingTable"]
 class LockingTable:
     """Per-agent accumulated lock knowledge."""
 
-    def __init__(self) -> None:
+    def __init__(self, delta_views: bool = False) -> None:
         self.views: Dict[str, SharedView] = {}
         self.ual = UpdatedList()
         # Monotone max committed version per key, folded from *every*
@@ -52,6 +53,17 @@ class LockingTable:
         # map dominates every commit the UAL knows about — the property
         # that makes version assignment ([D3]) collision-free.
         self.max_versions: Dict[str, int] = {}
+        #: delta-view data plane: report the compact wire encoding from
+        #: :meth:`wire_size` (the merge paths need no flag — they engage
+        #: on stamped sequence numbers alone).
+        self.delta_views = delta_views
+        #: highest server sequence fully merged, per host. Advanced only
+        #: when this table holds the complete state at that sequence
+        #: (an adopted full view, or an applied delta).
+        self.acked: Dict[str, int] = {}
+        #: per host, the wire cells of the last version payload merged —
+        #: the delta-plane cost model for per-host version deviations.
+        self._ver_dev: Dict[str, int] = {}
         self._init_packed()
 
     def _init_packed(self) -> None:
@@ -69,6 +81,8 @@ class LockingTable:
         self._tops_cache: Optional[Tuple[int, dict, dict]] = None
         #: single-entry memo used by priority.decide (key, core result)
         self._decide_cache: Optional[tuple] = None
+        #: (mutations, sorted hosts) memo for :attr:`known_hosts`
+        self._hosts_cache: Optional[Tuple[int, List[str]]] = None
 
     # -- pickling ----------------------------------------------------------
 
@@ -79,16 +93,26 @@ class LockingTable:
     # and never order anything.
 
     def __getstate__(self):
-        return {
+        state = {
             "views": self.views,
             "ual": self.ual,
             "max_versions": self.max_versions,
         }
+        # The delta-plane fields ride only when the plane is on, so the
+        # classic pickle payload stays byte-identical.
+        if self.delta_views or self.acked:
+            state["delta_views"] = self.delta_views
+            state["acked"] = self.acked
+            state["ver_dev"] = self._ver_dev
+        return state
 
     def __setstate__(self, state) -> None:
         self.views = state["views"]
         self.ual = state["ual"]
         self.max_versions = state["max_versions"]
+        self.delta_views = state.get("delta_views", False)
+        self.acked = state.get("acked", {})
+        self._ver_dev = state.get("ver_dev", {})
         self._init_packed()
         for agent_id in self.ual:
             self._finish_slot(agent_id)
@@ -160,7 +184,28 @@ class LockingTable:
         finished agents in both the UAL and the flag slab, one pass folds
         the version vector, and an adopted view is interned into its
         packed form immediately — nothing is re-materialised later.
+
+        Delta plane: a view stamped with a server sequence number at or
+        below this table's acknowledged sequence for that host is
+        discarded in O(1) — both its queue (``as_of`` cannot be fresher)
+        and its updated/version knowledge (monotone in ``seq``) are
+        subsets of what was already merged. This is what turns the
+        per-visit bulletin re-merge from O(hosts × agents) into O(hosts).
         """
+        seq = view.seq
+        if seq >= 0:
+            acked = self.acked.get(view.host, -1)
+            if seq < acked:
+                return False
+            if seq == acked:
+                # Same sequence → identical queue/updated/versions
+                # content; only the timestamp can differ. Adopt a
+                # fresher one without re-merging (the packed index and
+                # every memo stay valid — no effective top can move).
+                if view.is_newer_than(self.views.get(view.host)):
+                    self.views[view.host] = view
+                    return True
+                return False
         changed = False
         ual_add = self.ual.add
         for agent_id in view.updated:
@@ -176,10 +221,107 @@ class LockingTable:
             self.views[view.host] = view
             self._packed[view.host] = self._pack(view.view)
             self._mutations += 1
+            if seq >= 0:
+                # A full snapshot at seq was adopted wholesale: this
+                # table now holds the complete state at that sequence.
+                self.acked[view.host] = seq
+                self._ver_dev[view.host] = (
+                    len(view.versions) if view.versions else 0
+                )
             return True
         if changed:
             self._mutations += 1
         return False
+
+    def apply_delta(self, delta: SharedViewDelta) -> bool:
+        """Patch one host's state in place from a server delta.
+
+        O(changed entries): only newly finished ids touch the UAL flag
+        slab, only changed cells fold into the version ceiling, and the
+        packed slot list is edited rather than re-packed. The stored
+        :class:`SharedView` is rebuilt to exactly what the server's full
+        snapshot at ``delta.seq`` would have been (queue reconstruction
+        is exact because LL appends land strictly at the tail), so
+        everything downstream — bulletin deposits, freshness checks,
+        pickled suitcases — is indistinguishable from the full plane.
+
+        Returns True if anything changed.
+        """
+        host = delta.host
+        stored = self.views.get(host)
+        if stored is None or delta.base_seq != self.acked.get(host, -1):
+            raise ProtocolError(
+                f"delta for {host!r} built against base {delta.base_seq}, "
+                f"but this table acknowledged "
+                f"{self.acked.get(host, -1)} (view "
+                f"{'present' if stored is not None else 'missing'})"
+            )
+        changed = False
+        done = self._done
+        if delta.finished:
+            ual_add = self.ual.add
+            for agent_id in delta.finished:
+                if ual_add(agent_id):
+                    done[self._slot(agent_id)] = 1
+                    changed = True
+        if delta.versions:
+            max_versions = self.max_versions
+            for key, version in delta.versions.items():
+                if version > max_versions.get(key, 0):
+                    max_versions[key] = version
+        # Rebuild this host's stored snapshot at delta.seq.
+        if delta.removed or delta.appended:
+            removed = set(delta.removed)
+            new_ids = tuple(
+                a for a in stored.view if a not in removed
+            ) + delta.appended
+            packed = self._packed[host]
+            if removed:
+                index_of = self._ids.index_of
+                gone = {
+                    slot for slot in map(index_of, removed)
+                    if slot is not None
+                }
+                packed = [slot for slot in packed if slot not in gone]
+            if delta.appended:
+                packed = packed + [
+                    self._slot(a) for a in delta.appended
+                ]
+            self._packed[host] = packed
+            changed = True
+        else:
+            new_ids = stored.view
+        new_updated = stored.updated
+        if delta.finished:
+            new_updated = stored.updated.union(delta.finished)
+        new_versions = stored.versions
+        if delta.versions:
+            new_versions = dict(stored.versions or ())
+            new_versions.update(delta.versions)
+            self._ver_dev[host] = len(delta.versions)
+        self.views[host] = SharedView(
+            host=host,
+            as_of=delta.as_of,
+            view=new_ids,
+            updated=new_updated,
+            versions=new_versions,
+            seq=delta.seq,
+        )
+        self.acked[host] = delta.seq
+        if changed:
+            self._mutations += 1
+        return changed
+
+    def ingest(self, view) -> bool:
+        """Merge a visit's view, whichever encoding the server chose."""
+        if type(view) is SharedViewDelta:
+            return self.apply_delta(view)
+        return self.update(view)
+
+    def acked_seq(self, host: str) -> int:
+        """The server sequence this table acknowledges for ``host``
+        (``-1`` = no complete state held — request a full snapshot)."""
+        return self.acked.get(host, -1)
 
     def merge_bulletin(self, views: Dict[str, SharedView]) -> int:
         """Ingest a server's bulletin board; returns views adopted."""
@@ -193,7 +335,18 @@ class LockingTable:
 
     @property
     def known_hosts(self) -> List[str]:
-        return sorted(self.views)
+        """Sorted hosts with a known view, memoised against mutations.
+
+        Callers treat the result as read-only; every adoption of a view
+        for a new host bumps ``_mutations``, so the memo can never serve
+        a stale host list.
+        """
+        cache = self._hosts_cache
+        if cache is not None and cache[0] == self._mutations:
+            return cache[1]
+        hosts = sorted(self.views)
+        self._hosts_cache = (self._mutations, hosts)
+        return hosts
 
     def view_of(self, host: str) -> Optional[SharedView]:
         return self.views.get(host)
@@ -266,6 +419,28 @@ class LockingTable:
 
     def wire_size(self) -> int:
         """Approximate bytes the LT adds to the agent's migrations."""
+        if self.delta_views:
+            # Compact suitcase encoding enabled by the interner: the id
+            # dictionary ships once, every per-host queue is 4-byte slot
+            # indices into it, and the UAL plus each view's finished set
+            # are dense slot bitsets — instead of repeating the full
+            # AgentId tuple for every occurrence in every view. Version
+            # vectors are charged at their last-merged deviation per
+            # host (the full vector travels once via max_versions).
+            slots = len(self._done)
+            bitset = (slots + 7) // 8
+            value = self._ids.value
+            total = 16 + bitset  # container + global UAL bitset
+            total += sum(value(slot).wire_size() for slot in range(slots))
+            total += 16 * len(self.max_versions)
+            for host, view in self.views.items():
+                total += 16 + len(host) + 8 + 8  # host + as_of + seq
+                total += 4 * len(self._packed[host])
+                total += bitset  # the view's updated-set bitset
+                total += 16 * self._ver_dev.get(
+                    host, len(view.versions) if view.versions else 0
+                )
+            return total
         total = 16
         for view in self.views.values():
             total += 16 + len(view.host) + 8  # host + as_of

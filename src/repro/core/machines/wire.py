@@ -10,12 +10,15 @@ across real queues.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from repro.agents.identity import AgentId
 from repro.core.machines.structures import LockView
 
-__all__ = ["SharedView", "WriteOp", "UpdatePayload", "Transform", "VisitData"]
+__all__ = [
+    "SharedView", "SharedViewDelta", "WriteOp", "UpdatePayload",
+    "Transform", "VisitData",
+]
 
 
 @dataclass(frozen=True)
@@ -28,13 +31,22 @@ class SharedView:
     "checks the time of last update of all the quorum members" ([D3]):
     a view that certifies the winner as top also certifies which commits
     that server had applied.
+
+    ``seq`` is the server's monotone mutation sequence number at
+    snapshot time, stamped only when the delta-view data plane is on
+    (``-1`` = unstamped, the classic full-view plane). A receiver that
+    has already merged this server's state through ``seq`` can discard
+    the whole view in O(1): with the paper's keep-forever Updated List,
+    everything a lower-or-equal-seq snapshot knows is a subset of what
+    the receiver merged.
     """
 
     host: str
     as_of: float
     view: LockView
     updated: frozenset  # agent ids known to have completed
-    versions: Any = None  # Dict[str, int] | None
+    versions: Optional[Dict[str, int]] = None
+    seq: int = -1
 
     def version_of(self, key: str) -> int:
         if not self.versions:
@@ -43,6 +55,58 @@ class SharedView:
 
     def is_newer_than(self, other: Optional["SharedView"]) -> bool:
         return other is None or self.as_of > other.as_of
+
+
+@dataclass(frozen=True)
+class SharedViewDelta:
+    """What changed at one server since the receiver's acked sequence.
+
+    The delta-view data plane's wire format: instead of a full
+    :class:`SharedView` (whole locking list, whole updated set, whole
+    version vector — O(agents + keys) per snapshot), a server hands a
+    returning visitor only the mutations logged between the visitor's
+    acknowledged sequence ``base_seq`` and the current ``seq``:
+
+    * ``removed`` / ``appended`` — the net locking-list edit. The LL
+      only ever appends at the tail and removes in place (removals
+      preserve the order of the remainder), so the receiver's queue
+      reconstruction is exact:
+      ``[a for a in base if a not in removed] + appended``.
+    * ``finished`` — agent ids newly added to the server's Updated List.
+    * ``versions`` — only the version-vector cells that changed, each at
+      its newest value.
+
+    A delta is only valid against the precise base it was cut for; on
+    first contact, after a journal gap (bounded changelog evicted the
+    base) or after a bulk state change (recovery snapshot install) the
+    server falls back to a full :class:`SharedView`.
+    """
+
+    host: str
+    as_of: float
+    base_seq: int
+    seq: int
+    removed: Tuple[AgentId, ...] = ()
+    appended: Tuple[AgentId, ...] = ()
+    finished: Tuple[AgentId, ...] = ()
+    versions: Optional[Dict[str, int]] = None
+
+    def wire_size(self) -> int:
+        # Structural, like the generic estimate: ids at their own wire
+        # size, 8 B per number, 16 B container overhead per field.
+        return (
+            16 + len(self.host.encode("utf-8")) + 8  # host + as_of
+            + 8 + 8  # base_seq + seq
+            + 16 + sum(a.wire_size() for a in self.removed)
+            + 16 + sum(a.wire_size() for a in self.appended)
+            + 16 + sum(a.wire_size() for a in self.finished)
+            + (
+                0 if self.versions is None
+                else 16 + sum(
+                    len(k.encode("utf-8")) + 8 for k in self.versions
+                )
+            )
+        )
 
 
 @dataclass(frozen=True)
@@ -142,10 +206,12 @@ class VisitData:
     Produced by :meth:`ReplicaMachine.begin_visit` and fed into the
     agent machine as part of an :class:`~repro.core.machines.events.Arrived`
     input: the fresh lock view, the bulletin board, and the agent's rank
-    in the Locking List (for tracing).
+    in the Locking List (for tracing). Under the delta-view data plane
+    ``view`` is a :class:`SharedViewDelta` whenever the visitor's acked
+    sequence is inside the server's journal window.
     """
 
-    view: SharedView
+    view: Any  # SharedView | SharedViewDelta
     bulletin: Any  # Dict[str, SharedView]
     rank: Optional[int]
     ll_len: int

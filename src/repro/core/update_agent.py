@@ -87,6 +87,11 @@ class UpdateAgent(MobileAgent):
             batch_id=self.batch_id,
             requests=[(r.request_id, r.key, r.value) for r in self.records],
         )
+        # Delta plane: the carried table reports the compact suitcase
+        # encoding and tracks per-server acked sequences.
+        self.core.table.delta_views = getattr(
+            self.config, "delta_views", False
+        )
         self.machine = AgentMachine(
             self.core, marp.deployment.hosts, self.config, votes=marp.votes
         )
@@ -290,7 +295,10 @@ class UpdateAgent(MobileAgent):
         server: ReplicaServer = self.platform.service("replica")
         if server.config.agent_service_time > 0:
             yield env.timeout(server.config.agent_service_time)
-        data = server.begin_visit(self.agent_id, self.batch_id)
+        data = server.begin_visit(
+            self.agent_id, self.batch_id,
+            acked=self.core.table.acked_seq(server.host),
+        )
         return self.machine.on(
             Arrived(
                 host=server.host, now=env.now, view=data.view,

@@ -64,6 +64,7 @@ _OMIT_AT_DEFAULT: Dict[str, Any] = {
     "workload_chunk": None,
     "ul_retention": None,
     "inbox_ttl": None,
+    "delta_views": False,
 }
 
 

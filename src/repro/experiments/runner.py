@@ -23,7 +23,7 @@ from repro.baselines import PROTOCOLS
 from repro.core.config import MARPConfig
 from repro.core.protocol import MARP
 from repro.net.faults import FaultPlan
-from repro.net.latency import lan_profile, wan_profile
+from repro.net.latency import hybrid_profile, lan_profile, wan_profile
 from repro.net.topology import Topology
 from repro.replication.client import attach_clients
 from repro.replication.deployment import Deployment
@@ -59,7 +59,7 @@ class RunConfig:
     requests_per_client: int = 20
     write_fraction: float = 1.0
     keys: Tuple[str, ...] = ("x",)
-    latency: str = "lan"  # "lan" | "wan"
+    latency: str = "lan"  # "lan" | "wan" | "hybrid"
     topology: str = "mesh"  # "mesh" | "random-costs"
     horizon: float = 5_000_000.0
     faults: Optional[FaultPlan] = None
@@ -100,6 +100,10 @@ class RunConfig:
     #: accumulate without bound and make long runs quadratic). None =
     #: keep everything, the exact historical semantics.
     inbox_ttl: Optional[float] = None
+    #: Delta-view data plane: agents and replicas exchange
+    #: SharedViewDeltas and compact suitcase encodings (see
+    #: ProtocolTunables.delta_views). MARP-only; baselines ignore it.
+    delta_views: bool = False
 
     def with_(self, **changes) -> "RunConfig":
         """A modified copy (convenience for sweeps)."""
@@ -176,7 +180,9 @@ class RunResult:
 
 
 def _build_deployment(config: RunConfig) -> Deployment:
-    latency = {"lan": lan_profile, "wan": wan_profile}.get(config.latency)
+    latency = {
+        "lan": lan_profile, "wan": wan_profile, "hybrid": hybrid_profile,
+    }.get(config.latency)
     if latency is None:
         raise ExperimentError(f"unknown latency profile {config.latency!r}")
     replica_config = ReplicaConfig(
@@ -184,6 +190,7 @@ def _build_deployment(config: RunConfig) -> Deployment:
         update_apply_time=config.update_apply_time,
         enable_bulletin=config.enable_bulletin,
         ul_retention=config.ul_retention,
+        delta_views=config.delta_views,
     )
     topology = None
     if config.topology == "random-costs":
@@ -210,6 +217,7 @@ def build_protocol(deployment: Deployment, config: RunConfig):
             itinerary=config.itinerary,
             batch_size=config.batch_size,
             read_strategy=config.read_strategy,
+            delta_views=config.delta_views,
         )
         return MARP(deployment, config=marp_config)
     cls = PROTOCOLS.get(config.protocol)

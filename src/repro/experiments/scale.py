@@ -32,6 +32,8 @@ __all__ = [
     "ScaleCurve",
     "ScaleFamily",
     "default_variants",
+    "replica_sweep_variants",
+    "geo_variants",
     "run_scale",
 ]
 
@@ -50,6 +52,9 @@ class ScaleVariant:
     n_keys: int = 16
     key_skew: float = 0.9
     latency: str = "lan"
+    #: delta-view data plane (hundreds-of-replicas sweeps need it: the
+    #: per-tour SharedView merge cost dominates otherwise).
+    delta_views: bool = False
 
     def payload(self) -> Dict[str, Any]:
         return {
@@ -58,6 +63,7 @@ class ScaleVariant:
             "n_keys": self.n_keys,
             "key_skew": self.key_skew,
             "latency": self.latency,
+            "delta_views": self.delta_views,
         }
 
 
@@ -215,6 +221,53 @@ def default_variants(
     return variants
 
 
+def replica_sweep_variants(
+    counts: Sequence[int] = (100, 150, 200, 300),
+    n_keys: int = 256,
+    key_skew: float = 0.9,
+    latency: str = "lan",
+    delta_views: bool = True,
+) -> List[ScaleVariant]:
+    """The hundreds-of-replicas axis: one variant per cluster size.
+
+    Defaults to the delta-view data plane — at these sizes each agent
+    carries O(N) views and every visit re-merges them, so the full plane
+    spends its time in Table.update rather than in the protocol under
+    test. Pass ``delta_views=False`` for the A/B against the full plane.
+    """
+    return [
+        ScaleVariant(
+            label=f"N={n}{'' if delta_views else '/full'}",
+            n_replicas=n, n_keys=n_keys, key_skew=key_skew,
+            latency=latency, delta_views=delta_views,
+        )
+        for n in counts
+    ]
+
+
+def geo_variants(
+    n_replicas: int = 100,
+    n_keys: int = 256,
+    key_skew: float = 0.9,
+    profiles: Sequence[str] = ("lan", "wan", "hybrid"),
+    delta_views: bool = True,
+) -> List[ScaleVariant]:
+    """The geo-topology axis at one cluster size: lan / wan / hybrid.
+
+    ``hybrid`` splits the replicas round-robin into a few regions with
+    LAN-like latency inside a region and WAN-like latency across (see
+    :func:`repro.net.latency.hybrid_profile`).
+    """
+    return [
+        ScaleVariant(
+            label=f"geo={profile}",
+            n_replicas=n_replicas, n_keys=n_keys, key_skew=key_skew,
+            latency=profile, delta_views=delta_views,
+        )
+        for profile in profiles
+    ]
+
+
 def scale_config(
     protocol: str,
     variant: ScaleVariant,
@@ -254,6 +307,7 @@ def scale_config(
         workload_chunk=workload_chunk,
         ul_retention=ul_retention,
         inbox_ttl=inbox_ttl,
+        delta_views=variant.delta_views,
     )
 
 

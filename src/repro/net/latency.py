@@ -31,8 +31,10 @@ __all__ = [
     "BandwidthLatency",
     "ScaledLatency",
     "PairwiseLatency",
+    "RegionalLatency",
     "lan_profile",
     "wan_profile",
+    "hybrid_profile",
 ]
 
 
@@ -225,6 +227,31 @@ class PairwiseLatency(LatencyModel):
         return f"PairwiseLatency(default={self.default!r}, n_overrides={len(self.overrides)})"
 
 
+class RegionalLatency(LatencyModel):
+    """Region-aware delays: LAN-like within a region, WAN-like across.
+
+    ``region_of`` maps a host name to a region label; a pair in the same
+    region samples ``intra``, any other pair samples ``inter``. This is
+    the geo-topology building block for hundreds-of-replicas sweeps: a
+    handful of datacenters, cheap inside, expensive between.
+    """
+
+    def __init__(
+        self, region_of, intra: LatencyModel, inter: LatencyModel
+    ) -> None:
+        self.region_of = region_of  # callable (host) -> hashable label
+        self.intra = intra
+        self.inter = inter
+
+    def sample(self, src, dst, size_bytes, stream) -> float:
+        region_of = self.region_of
+        model = self.intra if region_of(src) == region_of(dst) else self.inter
+        return model.sample(src, dst, size_bytes, stream)
+
+    def __repr__(self) -> str:
+        return f"RegionalLatency(intra={self.intra!r}, inter={self.inter!r})"
+
+
 def lan_profile() -> LatencyModel:
     """Calibrated LAN: ~1–3 ms propagation + 10 MB/s transfer.
 
@@ -243,4 +270,36 @@ def wan_profile() -> LatencyModel:
     """
     return LogNormalLatency(median=40.0, sigma=0.5, minimum=5.0) + (
         BandwidthLatency(1e3)
+    )
+
+
+#: Regions a :func:`hybrid_profile` deployment is split into.
+HYBRID_REGIONS = 3
+
+
+def _hybrid_region(host: str) -> int:
+    """Region of a ``s<N>`` host: round-robin over :data:`HYBRID_REGIONS`.
+
+    Hosts without a numeric suffix hash by name, so arbitrary host sets
+    still split deterministically.
+    """
+    digits = "".join(ch for ch in host if ch.isdigit())
+    if digits:
+        return int(digits) % HYBRID_REGIONS
+    return sum(host.encode("utf-8")) % HYBRID_REGIONS
+
+
+def hybrid_profile() -> LatencyModel:
+    """Geo-distributed hybrid: LAN inside a region, WAN across regions.
+
+    Replicas ``s1..sN`` round-robin into :data:`HYBRID_REGIONS` regions
+    (so region peers are spread, not clustered, across the numeric
+    range); intra-region pairs see the :func:`lan_profile` character,
+    cross-region pairs the :func:`wan_profile` one.
+    """
+    return RegionalLatency(
+        _hybrid_region,
+        intra=UniformLatency(1.0, 3.0) + BandwidthLatency(1e4),
+        inter=LogNormalLatency(median=40.0, sigma=0.5, minimum=5.0)
+        + BandwidthLatency(1e3),
     )

@@ -96,6 +96,8 @@ class ReplicaConfig:
     #: Updated List retention window (ms); None = paper semantics
     #: (keep forever). See ProtocolTunables.ul_retention.
     ul_retention: Optional[float] = DES_TUNABLES.ul_retention
+    #: Delta-view data plane (see ProtocolTunables.delta_views).
+    delta_views: bool = DES_TUNABLES.delta_views
 
 
 class ReplicaServer:
@@ -202,10 +204,13 @@ class ReplicaServer:
     # Local interface used by co-located mobile agents
     # ------------------------------------------------------------------
 
-    def begin_visit(self, agent_id: AgentId, request_id: int) -> VisitData:
+    def begin_visit(
+        self, agent_id: AgentId, request_id: int,
+        acked: Optional[int] = None,
+    ) -> VisitData:
         """One agent visit: guarded lock enqueue + information exchange."""
         data, effects = self.machine.begin_visit(
-            agent_id, request_id, self.env.now
+            agent_id, request_id, self.env.now, acked=acked
         )
         self._perform_all(effects)
         return data

@@ -105,6 +105,8 @@ class LiveConfig:
     tick: float = 10.0
     enable_bulletin: bool = LIVE_TUNABLES.enable_bulletin
     ul_retention: "float | None" = LIVE_TUNABLES.ul_retention
+    #: Delta-view data plane (see ProtocolTunables.delta_views).
+    delta_views: bool = LIVE_TUNABLES.delta_views
 
 
 @dataclass
@@ -329,6 +331,7 @@ class HostRuntime:
             location=self.host,
             dispatched_at=now,
         )
+        state.table.delta_views = self.config.delta_views
         state.trace_id = str(state.agent_id)
         state.lock_wait_since = now
         if self._obs is not None:
@@ -406,7 +409,8 @@ class HostRuntime:
             if isinstance(effect, Visit):
                 state.location = self.host
                 data, reffects = self.machine.begin_visit(
-                    state.agent_id, state.batch_id, now
+                    state.agent_id, state.batch_id, now,
+                    acked=state.table.acked_seq(self.host),
                 )
                 self._perform_replica(reffects, now)
                 pending.extend(

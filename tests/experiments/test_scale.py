@@ -19,6 +19,8 @@ from repro.experiments.scale import (
     ScalePoint,
     ScaleVariant,
     default_variants,
+    geo_variants,
+    replica_sweep_variants,
     run_scale,
     scale_config,
 )
@@ -60,6 +62,25 @@ class TestVariants:
     def test_payload_round_trips_through_json(self):
         variant = ScaleVariant(label="wan", latency="wan")
         assert json.loads(json.dumps(variant.payload()))["latency"] == "wan"
+
+    def test_replica_sweep_covers_hundreds_with_delta_plane(self):
+        variants = replica_sweep_variants()
+        assert [v.n_replicas for v in variants] == [100, 150, 200, 300]
+        assert all(v.delta_views for v in variants)
+        full = replica_sweep_variants(counts=(200,), delta_views=False)
+        assert full[0].label == "N=200/full" and not full[0].delta_views
+
+    def test_geo_matrix_spans_lan_wan_hybrid(self):
+        variants = geo_variants()
+        assert [v.latency for v in variants] == ["lan", "wan", "hybrid"]
+        assert len({v.label for v in variants}) == 3
+
+    def test_variant_delta_flag_reaches_the_run_config(self):
+        variant = ScaleVariant(label="d", delta_views=True)
+        assert scale_config("marp", variant, 50.0, 100).delta_views
+        assert not scale_config(
+            "marp", ScaleVariant(label="f"), 50.0, 100
+        ).delta_views
 
 
 class TestScaleConfig:

@@ -1,0 +1,130 @@
+"""Full-view vs delta-view conformance: identical per-key commit chains.
+
+The delta-view data plane (``delta_views=True``) changes *how* lock
+state travels — ``SharedViewDelta`` patches instead of full snapshots,
+compact suitcase encodings instead of repeated ``AgentId`` tuples — and
+therefore changes wire sizes and event timing. It must never change
+*what* commits: the scenarios here submit writes causally, so the chain
+each key must show is fully determined by the workload, and both planes
+are required to produce the same sha256 chain fingerprint on the DES
+*and* the live thread backend — faults, recovery fallback and all.
+
+Reuses the backend-neutral scenarios of
+:mod:`tests.integration.test_conformance`.
+"""
+
+import time
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.config import MARPConfig
+from repro.core.protocol import MARP
+from repro.net.faults import FaultPlan
+from repro.replication.deployment import Deployment
+from repro.replication.server import ReplicaConfig
+from repro.runtime import LiveCluster
+from repro.runtime.host import LiveConfig
+
+from tests.integration.test_conformance import (
+    FOREVER,
+    SCENARIOS,
+    Scenario,
+    chain_fingerprint,
+    crashed_indices,
+    expected_chains,
+)
+
+
+def run_des_delta(scenario: Scenario) -> Dict[str, List[Tuple[int, int]]]:
+    """The DES conformance run with the delta plane switched on."""
+    faults = FaultPlan.none()
+    for index in scenario.down_from_start:
+        faults.crashes.add(f"s{index}", 0.0, FOREVER)
+    dep = Deployment(
+        n_replicas=scenario.n,
+        seed=scenario.seed,
+        faults=faults,
+        replica_config=ReplicaConfig(delta_views=True),
+    )
+    marp = MARP(dep, config=MARPConfig(delta_views=True))
+    rid_to_index: Dict[int, int] = {}
+    for number, (home_index, key) in enumerate(scenario.writes, start=1):
+        record = marp.submit_write(
+            f"s{home_index}", key, f"{scenario.name}-{number}"
+        )
+        rid_to_index[record.request_id] = number
+        deadline = dep.env.now + 2_000_000
+        while record.status != "committed":
+            assert dep.env.now < deadline, (
+                f"{scenario.name}: delta DES write {number} did not commit"
+            )
+            dep.run(until=dep.env.now + 200)
+        if scenario.midrun_crash and number == scenario.midrun_crash[0]:
+            dep.faults.crashes.add(
+                f"s{scenario.midrun_crash[1]}", dep.env.now + 0.001, FOREVER
+            )
+    dep.run(until=dep.env.now + 10_000)
+
+    observers = [
+        f"s{i}" for i in range(1, scenario.n + 1)
+        if i not in crashed_indices(scenario)
+    ]
+    merged: Dict[str, Dict[int, int]] = {}
+    for host in observers:
+        for commit in dep.server(host).history:
+            merged.setdefault(commit.key, {})[commit.version] = (
+                rid_to_index[commit.request_id]
+            )
+    return {key: sorted(v.items()) for key, v in merged.items()}
+
+
+def run_live_delta(scenario: Scenario) -> Dict[str, List[Tuple[int, int]]]:
+    """The live-thread conformance run with the delta plane switched on."""
+    with LiveCluster(
+        n_replicas=scenario.n, backend="thread", seed=scenario.seed,
+        config=LiveConfig(delta_views=True),
+    ) as cluster:
+        for index in scenario.down_from_start:
+            cluster.transport.isolate(f"h{index}")
+        rid_to_index: Dict[int, int] = {}
+        for number, (home_index, key) in enumerate(scenario.writes, start=1):
+            rid = cluster.submit_write(
+                f"h{home_index}", key, f"{scenario.name}-{number}"
+            )
+            rid_to_index[rid] = number
+            records = cluster.wait_for(number, timeout=30.0)
+            assert records[-1]["status"] == "committed", (
+                f"{scenario.name}: delta live write {number} failed"
+            )
+            if scenario.midrun_crash and number == scenario.midrun_crash[0]:
+                cluster.transport.isolate(f"h{scenario.midrun_crash[1]}")
+        time.sleep(0.3)
+        finals = cluster.shutdown()
+
+    observers = [
+        f"h{i}" for i in range(1, scenario.n + 1)
+        if i not in crashed_indices(scenario)
+    ]
+    merged: Dict[str, Dict[int, int]] = {}
+    for host in observers:
+        for request_id, key, version in finals[host]["history"]:
+            merged.setdefault(key, {})[version] = rid_to_index[request_id]
+    return {key: sorted(v.items()) for key, v in merged.items()}
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS, ids=[s.name for s in SCENARIOS]
+)
+class TestDeltaPlaneConformance:
+    def test_des_delta_matches_full_plane_chains(self, scenario):
+        expected = expected_chains(scenario)
+        delta_chains = run_des_delta(scenario)
+        assert delta_chains == expected
+        assert chain_fingerprint(delta_chains) == chain_fingerprint(expected)
+
+    def test_live_delta_matches_full_plane_chains(self, scenario):
+        expected = expected_chains(scenario)
+        delta_chains = run_live_delta(scenario)
+        assert delta_chains == expected
+        assert chain_fingerprint(delta_chains) == chain_fingerprint(expected)

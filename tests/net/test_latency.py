@@ -10,8 +10,11 @@ from repro.net.latency import (
     ExponentialLatency,
     LogNormalLatency,
     PairwiseLatency,
+    RegionalLatency,
     ScaledLatency,
     UniformLatency,
+    _hybrid_region,
+    hybrid_profile,
     lan_profile,
     wan_profile,
 )
@@ -109,6 +112,15 @@ class TestComposition:
         assert model.sample("a", "b", 0, stream) == 9.0
         assert model.sample("b", "a", 0, stream) == 1.0
 
+    def test_regional_routes_by_region_equality(self, stream):
+        model = RegionalLatency(
+            lambda host: host[0],
+            intra=ConstantLatency(1.0),
+            inter=ConstantLatency(50.0),
+        )
+        assert model.sample("a1", "a2", 0, stream) == 1.0
+        assert model.sample("a1", "b1", 0, stream) == 50.0
+
 
 class TestProfiles:
     def test_lan_profile_small_delays(self, stream):
@@ -126,3 +138,18 @@ class TestProfiles:
     def test_wan_profile_has_minimum(self, stream):
         wan = wan_profile()
         assert all(wan.sample("a", "b", 0, stream) >= 5.0 for _ in range(100))
+
+    def test_hybrid_region_split_is_deterministic_round_robin(self):
+        regions = {_hybrid_region(f"s{i}") for i in range(1, 10)}
+        assert len(regions) == 3  # all regions populated
+        assert _hybrid_region("s1") == _hybrid_region("s4")
+        assert _hybrid_region("no-digits") == _hybrid_region("no-digits")
+
+    def test_hybrid_profile_is_lan_within_and_wan_across(self, stream):
+        model = hybrid_profile()
+        # s3/s6 share a region, s3/s4 do not.
+        intra = [model.sample("s3", "s6", 256, stream) for _ in range(300)]
+        inter = [model.sample("s3", "s4", 256, stream) for _ in range(300)]
+        assert all(d <= 4.0 for d in intra)
+        assert all(d >= 5.0 for d in inter)
+        assert sum(inter) / 300 > 5 * (sum(intra) / 300)

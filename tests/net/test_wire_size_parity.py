@@ -1,0 +1,101 @@
+"""Pin hand-rolled ``wire_size()`` to the generic structural estimate.
+
+``WriteOp.wire_size`` / ``UpdatePayload.wire_size`` (and the delta
+plane's ``SharedViewDelta.wire_size``) are hand-inlined fast paths whose
+comments promise "must equal the generic structural estimate": message
+sizes feed the network latency model, so silent drift between the two
+would shift event timing and break pinned run fingerprints. Nothing
+enforced that promise until now.
+
+The reference is computed field-by-field with
+:func:`repro.net.message.estimate_size` — exactly what the generic
+dataclass walk (16 B container + per-public-attribute sizes) would
+charge if the class had no ``wire_size`` hook.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.agents.identity import AgentId
+from repro.core.machines.wire import SharedViewDelta, UpdatePayload, WriteOp
+from repro.net.message import estimate_size
+
+
+def structural_estimate(obj) -> int:
+    """What the generic dataclass fallback would report: 16 B container
+    overhead plus every field at its own estimate (caches and other
+    underscore attributes excluded, as in the generic walk)."""
+    return 16 + sum(
+        estimate_size(getattr(obj, f.name))
+        for f in dataclasses.fields(obj)
+    )
+
+
+WRITE_OPS = [
+    WriteOp(request_id=1, key="x", value="v", version=1),
+    WriteOp(request_id=999, key="a-longer-key", value=12345, version=7),
+    WriteOp(request_id=3, key="κλειδί", value={"nested": [1, 2.5]},
+            version=2),
+    WriteOp(request_id=4, key="none-value", value=None, version=1),
+]
+
+
+@pytest.mark.parametrize("op", WRITE_OPS, ids=lambda op: op.key)
+def test_write_op_wire_size_equals_structural_estimate(op):
+    assert op.wire_size() == structural_estimate(op)
+    # and the hook is what estimate_size itself dispatches to
+    assert estimate_size(op) == op.wire_size()
+
+
+PAYLOADS = [
+    UpdatePayload(batch_id=1, agent_id=AgentId("s1", 10.0, 0), origin="s1"),
+    UpdatePayload(
+        batch_id=2,
+        agent_id=AgentId("server-9", 123.5, 3),
+        origin="server-9",
+        writes=tuple(WRITE_OPS),
+        reply_to="server-9",
+        epoch=4,
+    ),
+    UpdatePayload(
+        batch_id=3,
+        agent_id=AgentId("s2", 1.0, 1),
+        origin="s2",
+        writes=(WRITE_OPS[0],),
+        reply_to="s2",
+        trace_id="0123456789abcdef",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "payload", PAYLOADS, ids=lambda p: f"batch{p.batch_id}"
+)
+def test_update_payload_wire_size_equals_structural_estimate(payload):
+    expected = structural_estimate(payload)
+    assert payload.wire_size() == expected
+    # The memoised second call must agree with the first.
+    assert payload.wire_size() == expected
+    assert estimate_size(payload) == expected
+
+
+DELTAS = [
+    SharedViewDelta(host="s1", as_of=1.0, base_seq=0, seq=1),
+    SharedViewDelta(
+        host="replica-12",
+        as_of=42.5,
+        base_seq=3,
+        seq=9,
+        removed=(AgentId("s1", 1.0, 0),),
+        appended=(AgentId("s2", 2.0, 1), AgentId("s3", 3.0, 0)),
+        finished=(AgentId("s1", 1.0, 0),),
+        versions={"x": 4, "longer-key": 2},
+    ),
+]
+
+
+@pytest.mark.parametrize("delta", DELTAS, ids=lambda d: d.host)
+def test_shared_view_delta_wire_size_equals_structural_estimate(delta):
+    assert delta.wire_size() == structural_estimate(delta)
+    assert estimate_size(delta) == delta.wire_size()

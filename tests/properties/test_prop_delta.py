@@ -1,0 +1,143 @@
+"""Differential property: the delta plane is invisible to table state.
+
+One seeded :class:`ReplicaMachine` (journal on) is driven through an
+arbitrary interleaving of lock-state mutations — enqueues, commits,
+aborts, requeues, recovery resets — while two agent-side
+:class:`LockingTable`\\ s observe it:
+
+* the **full** table is handed a full ``lock_view`` snapshot at every
+  sync point (the classic plane);
+* the **delta** table asks for a delta against its acknowledged
+  sequence, exactly like ``begin_visit`` does, taking the full-snapshot
+  fallback whenever the journal declines (first contact, evicted base,
+  post-reset).
+
+After every sync point both tables must agree on *everything*
+decision-relevant: stored views (queue, updated set, versions, as_of,
+seq), the merged UAL, the version ceilings, effective tops and host
+lists. Stale re-deliveries of previously seen snapshots (the bulletin
+path) are interleaved too — the delta table drops them via the O(1)
+seq-skip, the full table via the classic merge, and they must still
+agree.
+
+Journal capacity is drawn small on purpose so eviction-forced fallbacks
+actually happen inside the window of a few dozen operations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents.identity import AgentId
+from repro.core.machines.config import ProtocolTunables
+from repro.core.machines.replica import ReplicaMachine
+from repro.core.machines.table import LockingTable
+from repro.core.machines.wire import UpdatePayload, WriteOp
+
+TUNABLES = ProtocolTunables(delta_views=True)
+
+KEYS = ("x", "y", "z")
+
+
+def aid(n: int) -> AgentId:
+    return AgentId("h", float(n), 0)
+
+
+#: (op, arg) encodings drawn by the strategy; arg indexes agents/keys.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(0, 14)),
+        st.tuples(st.just("commit"), st.integers(0, 14)),
+        st.tuples(st.just("abort"), st.integers(0, 14)),
+        st.tuples(st.just("requeue"), st.integers(0, 14)),
+        st.tuples(st.just("reset"), st.just(0)),
+        st.tuples(st.just("sync"), st.just(0)),
+        st.tuples(st.just("redeliver"), st.integers(0, 200)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def payload_for(n: int, writes=()):
+    return UpdatePayload(
+        batch_id=n, agent_id=aid(n), origin="s1", writes=tuple(writes),
+        reply_to="s1",
+    )
+
+
+def assert_tables_agree(full: LockingTable, delta: LockingTable) -> None:
+    assert delta.views == full.views
+    assert delta.ual.as_set() == full.ual.as_set()
+    assert delta.max_versions == full.max_versions
+    assert delta.known_hosts == full.known_hosts
+    assert delta.tops() == full.tops()
+    assert delta.top_counts() == full.top_counts()
+    for key in KEYS:
+        assert (
+            delta.version_ceiling(key, delta.known_hosts)
+            == full.version_ceiling(key, full.known_hosts)
+        )
+
+
+@given(ops=OPS, capacity=st.sampled_from([2, 8, 1024]))
+@settings(max_examples=120, deadline=None)
+def test_delta_and_full_merge_sequences_agree(ops, capacity):
+    machine = ReplicaMachine("s1", ["s1", "s2", "s3"], TUNABLES)
+    machine.journal.capacity = capacity
+
+    full = LockingTable()
+    delta = LockingTable(delta_views=True)
+    seen_snapshots = []  # history for stale bulletin re-deliveries
+    now = 0.0
+    next_version = {key: 0 for key in KEYS}
+
+    def sync(at: float) -> None:
+        snapshot = machine.lock_view(at)
+        full.update(snapshot)
+        seen_snapshots.append(snapshot)
+        patch = machine.delta_view(at, delta.acked_seq("s1"))
+        delta.ingest(patch if patch is not None else snapshot)
+        assert_tables_agree(full, delta)
+
+    for op, arg in ops:
+        now += 1.0
+        agent = aid(arg)
+        if op == "enq":
+            if (
+                agent not in machine.updated_list
+                and agent not in machine.locking_list
+            ):
+                machine.request_lock(agent, arg, now)
+        elif op in ("commit", "abort"):
+            if agent in machine.updated_list:
+                continue
+            writes = ()
+            if op == "commit":
+                key = KEYS[arg % len(KEYS)]
+                next_version[key] += 1
+                writes = (WriteOp(arg, key, f"v{arg}", next_version[key]),)
+            machine.on_message(
+                op.upper(), payload_for(arg, writes), src="s1", now=now
+            )
+        elif op == "requeue":
+            if agent in machine.locking_list:
+                machine.requeue_lock(agent, arg, now)
+        elif op == "reset":
+            machine.on_message(
+                "SYNC_REPLY",
+                {
+                    "snapshot": machine.store.snapshot(),
+                    "updated": tuple(machine.updated_list.ids()),
+                },
+                src="s2",
+                now=now,
+            )
+        elif op == "redeliver" and seen_snapshots:
+            stale = seen_snapshots[arg % len(seen_snapshots)]
+            full.update(stale)
+            delta.update(stale)
+            assert_tables_agree(full, delta)
+        else:
+            sync(now)
+
+    sync(now + 1.0)
